@@ -1,0 +1,133 @@
+// Command ejcli runs a context-enhanced similarity join between two CSV
+// files from the command line — the end-user face of the library.
+//
+// Usage:
+//
+//	ejcli -left products.csv -left-col name \
+//	      -right listings.csv -right-col title \
+//	      -threshold 0.6
+//
+// Each CSV's first row is the header. The join embeds the chosen string
+// columns with the built-in hash n-gram model, runs the optimized tensor
+// join, and prints matching row pairs with their similarity.
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"ejoin/internal/core"
+	"ejoin/internal/model"
+	"ejoin/internal/vec"
+)
+
+func main() {
+	var (
+		leftPath  = flag.String("left", "", "left CSV file")
+		rightPath = flag.String("right", "", "right CSV file")
+		leftCol   = flag.String("left-col", "", "left join column (header name)")
+		rightCol  = flag.String("right-col", "", "right join column (header name)")
+		threshold = flag.Float64("threshold", 0.6, "cosine similarity threshold")
+		topk      = flag.Int("topk", 0, "if >0, join each left row with its k best matches instead of a threshold")
+		dim       = flag.Int("dim", 100, "embedding dimensionality")
+		limit     = flag.Int("limit", 50, "max matches to print (0 = all)")
+	)
+	flag.Parse()
+
+	if err := run(*leftPath, *rightPath, *leftCol, *rightCol, float32(*threshold), *topk, *dim, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "ejcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk, dim, limit int) error {
+	if leftPath == "" || rightPath == "" {
+		return fmt.Errorf("both -left and -right are required")
+	}
+	leftVals, err := readColumn(leftPath, leftCol)
+	if err != nil {
+		return fmt.Errorf("reading left input: %w", err)
+	}
+	rightVals, err := readColumn(rightPath, rightCol)
+	if err != nil {
+		return fmt.Errorf("reading right input: %w", err)
+	}
+
+	m, err := model.NewHashEmbedder(dim)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	lm, err := core.Embed(ctx, m, leftVals)
+	if err != nil {
+		return err
+	}
+	rm, err := core.Embed(ctx, m, rightVals)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{Kernel: vec.KernelSIMD}
+	var res *core.Result
+	if topk > 0 {
+		res, err = core.TensorTopK(ctx, lm, rm, topk, opts)
+	} else {
+		res, err = core.TensorJoin(ctx, lm, rm, threshold, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d matches (|L|=%d, |R|=%d, %d comparisons)\n",
+		len(res.Matches), len(leftVals), len(rightVals), res.Stats.Comparisons)
+	for i, match := range res.Matches {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... and %d more (raise -limit to see them)\n", len(res.Matches)-limit)
+			break
+		}
+		fmt.Printf("%.3f  %q ~ %q\n", match.Sim, leftVals[match.Left], rightVals[match.Right])
+	}
+	return nil
+}
+
+// readColumn loads one named column from a CSV file with a header row.
+// An empty column name selects the first column.
+func readColumn(path, column string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("%s: need a header row and at least one data row", path)
+	}
+	idx := 0
+	if column != "" {
+		idx = -1
+		for i, h := range rows[0] {
+			if h == column {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("%s: no column %q (header: %v)", path, column, rows[0])
+		}
+	}
+	out := make([]string, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		if idx >= len(row) {
+			return nil, fmt.Errorf("%s: row has %d fields, need %d", path, len(row), idx+1)
+		}
+		out = append(out, row[idx])
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadColumn(t *testing.T) {
+	path := writeCSV(t, "a.csv", "name,price\nwidget,10\ngadget,20\n")
+	vals, err := readColumn(path, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != "widget" || vals[1] != "gadget" {
+		t.Errorf("vals = %v", vals)
+	}
+	// Empty column name selects the first column.
+	vals, err = readColumn(path, "")
+	if err != nil || vals[0] != "widget" {
+		t.Errorf("first column: %v %v", vals, err)
+	}
+	// Second column by name.
+	vals, err = readColumn(path, "price")
+	if err != nil || vals[1] != "20" {
+		t.Errorf("price column: %v %v", vals, err)
+	}
+}
+
+func TestReadColumnErrors(t *testing.T) {
+	if _, err := readColumn(filepath.Join(t.TempDir(), "missing.csv"), ""); err == nil {
+		t.Error("expected error for missing file")
+	}
+	headerOnly := writeCSV(t, "h.csv", "name\n")
+	if _, err := readColumn(headerOnly, "name"); err == nil {
+		t.Error("expected error for header-only file")
+	}
+	path := writeCSV(t, "a.csv", "name\nx\n")
+	if _, err := readColumn(path, "nope"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+	ragged := writeCSV(t, "r.csv", "a,b\n1,2\n3\n")
+	if _, err := readColumn(ragged, "b"); err == nil {
+		t.Error("expected error for ragged row")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	left := writeCSV(t, "l.csv", "name\nbarbecue\ndatabase\n")
+	right := writeCSV(t, "r.csv", "title\nbarbecues\ngiraffe\n")
+	if err := run(left, right, "name", "title", 0.6, 0, 64, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Top-k mode.
+	if err := run(left, right, "name", "title", 0, 1, 64, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Missing inputs.
+	if err := run("", right, "", "", 0.5, 0, 64, 0); err == nil {
+		t.Error("expected error for missing left")
+	}
+	if !strings.Contains(run(left, right, "zzz", "title", 0.5, 0, 64, 0).Error(), "left") {
+		t.Error("expected left column error")
+	}
+	if err := run(left, right, "name", "zzz", 0.5, 0, 64, 0); err == nil {
+		t.Error("expected right column error")
+	}
+	// Invalid dimension propagates from the model constructor.
+	if err := run(left, right, "name", "title", 0.5, 0, 0, 0); err == nil {
+		t.Error("expected dim error")
+	}
+}

@@ -1,0 +1,136 @@
+// Command ejsql executes declarative hybrid vector-relational queries over
+// CSV files:
+//
+//	ejsql \
+//	  -table 'catalog=catalog.csv;sku:int,name:text' \
+//	  -table 'feed=feed.csv;title:text,ingested:time' \
+//	  -query "SELECT * FROM catalog JOIN feed
+//	          ON SIM(catalog.name, feed.title) >= 0.6
+//	          WHERE feed.ingested > '2023-02-10'"
+//
+// Each -table flag is name=path;schema where schema is col:type pairs
+// (types: int, float, text, time, bool). The join condition is SIM(...) >=
+// τ for threshold joins or TOPK(a.col, b.col, k) for top-k joins. Output is
+// CSV: the matched rows (left columns prefixed l_, right r_) plus a
+// similarity column.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ejoin/internal/model"
+	"ejoin/internal/plan"
+	"ejoin/internal/relational"
+	"ejoin/internal/sqlish"
+)
+
+// tableFlags accumulates repeated -table flags.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, " ") }
+
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	flag.Var(&tables, "table", "table spec name=path;col:type,... (repeatable)")
+	query := flag.String("query", "", "query text")
+	dim := flag.Int("dim", 100, "embedding dimensionality")
+	flag.Parse()
+
+	if err := run(tables, *query, *dim, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ejsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tables []string, query string, dim int, out *os.File) error {
+	if query == "" {
+		return fmt.Errorf("-query is required")
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("at least one -table is required")
+	}
+	catalog := sqlish.NewCatalog()
+	for _, spec := range tables {
+		name, tbl, err := loadTable(spec)
+		if err != nil {
+			return err
+		}
+		catalog.Register(name, tbl)
+	}
+	m, err := model.NewHashEmbedder(dim)
+	if err != nil {
+		return err
+	}
+	res, q, err := sqlish.Run(context.Background(), query, catalog, m)
+	if err != nil {
+		return err
+	}
+	joined, err := plan.MaterializeResult(q, res)
+	if err != nil {
+		return err
+	}
+	return relational.WriteCSV(out, joined)
+}
+
+// loadTable parses one -table spec and loads the CSV.
+func loadTable(spec string) (string, *relational.Table, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("table spec %q: want name=path;schema", spec)
+	}
+	path, schemaSpec, ok := strings.Cut(rest, ";")
+	if !ok {
+		return "", nil, fmt.Errorf("table spec %q: missing ;schema part", spec)
+	}
+	schema, err := parseSchema(schemaSpec)
+	if err != nil {
+		return "", nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	tbl, err := relational.ReadCSV(f, schema)
+	if err != nil {
+		return "", nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	return name, tbl, nil
+}
+
+// parseSchema parses "col:type,col:type".
+func parseSchema(spec string) (relational.Schema, error) {
+	var schema relational.Schema
+	for _, part := range strings.Split(spec, ",") {
+		col, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("schema field %q: want col:type", part)
+		}
+		var t relational.Type
+		switch strings.ToLower(typ) {
+		case "int":
+			t = relational.Int64
+		case "float":
+			t = relational.Float64
+		case "text", "string":
+			t = relational.String
+		case "time", "date":
+			t = relational.Time
+		case "bool":
+			t = relational.Bool
+		default:
+			return nil, fmt.Errorf("schema field %q: unknown type %q", part, typ)
+		}
+		schema = append(schema, relational.Field{Name: col, Type: t})
+	}
+	return schema, nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ejoin/internal/relational"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseSchema(t *testing.T) {
+	schema, err := parseSchema("sku:int,name:text,price:float,when:time,ok:bool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relational.Type{relational.Int64, relational.String, relational.Float64, relational.Time, relational.Bool}
+	if len(schema) != len(want) {
+		t.Fatalf("schema = %v", schema)
+	}
+	for i, f := range schema {
+		if f.Type != want[i] {
+			t.Errorf("field %d type = %v, want %v", i, f.Type, want[i])
+		}
+	}
+	if _, err := parseSchema("bad"); err == nil {
+		t.Error("expected error for missing type")
+	}
+	if _, err := parseSchema("x:vector"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	path := writeFile(t, "c.csv", "sku,name\n1,ant\n")
+	name, tbl, err := loadTable("catalog=" + path + ";sku:int,name:text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "catalog" || tbl.NumRows() != 1 {
+		t.Errorf("name=%q rows=%d", name, tbl.NumRows())
+	}
+	bad := []string{
+		"nopath",
+		"x=only-path-no-schema",
+		"=path;a:int",
+		"x=/does/not/exist.csv;a:int",
+		"x=" + path + ";a:vector",
+	}
+	for _, spec := range bad {
+		if _, _, err := loadTable(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+	// Schema/CSV mismatch surfaces.
+	if _, _, err := loadTable("x=" + path + ";other:int,name:text"); err == nil {
+		t.Error("expected header mismatch error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	left := writeFile(t, "catalog.csv", "sku,name\n1,barbecue\n2,database\n3,clothes\n")
+	right := writeFile(t, "feed.csv", "title,score\nbarbecues,5\ndatabases,1\ngiraffe,9\n")
+	out := writeFile(t, "out.csv", "")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	err = run(
+		[]string{
+			"catalog=" + left + ";sku:int,name:text",
+			"feed=" + right + ";title:text,score:int",
+		},
+		"SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35 WHERE feed.score >= 2",
+		64, f,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	if !strings.Contains(body, "l_name") || !strings.Contains(body, "similarity") {
+		t.Errorf("header missing:\n%s", body)
+	}
+	if !strings.Contains(body, "barbecue") || !strings.Contains(body, "barbecues") {
+		t.Errorf("expected barbecue match:\n%s", body)
+	}
+	if strings.Contains(body, "databases") {
+		t.Errorf("score filter not applied:\n%s", body)
+	}
+	if strings.Contains(body, "giraffe") {
+		t.Errorf("semantic threshold not applied:\n%s", body)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	f := os.Stdout
+	if err := run(nil, "SELECT", 64, f); err == nil {
+		t.Error("expected missing-table error")
+	}
+	if err := run([]string{"x=y;a:int"}, "", 64, f); err == nil {
+		t.Error("expected missing-query error")
+	}
+	path := writeFile(t, "c.csv", "name\nant\n")
+	if err := run([]string{"c=" + path + ";name:text"}, "garbage query", 64, f); err == nil {
+		t.Error("expected parse error")
+	}
+	if err := run([]string{"c=" + path + ";name:text"},
+		"SELECT * FROM c JOIN c ON SIM(c.name, c.name) >= 0.5", 0, f); err == nil {
+		t.Error("expected model dim error")
+	}
+}

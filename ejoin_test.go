@@ -1,0 +1,267 @@
+package ejoin
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJoinStrings(t *testing.T) {
+	m, err := NewHashModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	matches, err := JoinStrings(ctx, m,
+		[]string{"barbecue", "database", "giraffe"},
+		[]string{"barbecues", "databases", "quantum"},
+		0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, mm := range matches {
+		got[mm.Left] = mm.Right
+		if mm.Sim < 0.6 {
+			t.Errorf("similarity below threshold: %+v", mm)
+		}
+	}
+	if got["barbecue"] != "barbecues" || got["database"] != "databases" {
+		t.Errorf("matches = %v", got)
+	}
+	if _, ok := got["giraffe"]; ok {
+		t.Error("giraffe should not match")
+	}
+}
+
+func TestJoinStringsErrors(t *testing.T) {
+	m, _ := NewHashModel(16)
+	ctx := context.Background()
+	if _, err := JoinStrings(ctx, m, []string{""}, []string{"x"}, 0.5); err == nil {
+		t.Error("expected error for empty left string")
+	}
+	if _, err := JoinStrings(ctx, m, []string{"x"}, []string{""}, 0.5); err == nil {
+		t.Error("expected error for empty right string")
+	}
+}
+
+func TestTopKStrings(t *testing.T) {
+	m, _ := NewHashModel(64)
+	matches, err := TopKStrings(context.Background(), m,
+		[]string{"clothes"},
+		[]string{"clothing", "giraffe", "clothings", "quantum"},
+		2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	for _, mm := range matches {
+		if mm.Right == "giraffe" || mm.Right == "quantum" {
+			t.Errorf("unrelated word in top-2: %+v", mm)
+		}
+	}
+}
+
+func TestSynonymModel(t *testing.T) {
+	m, err := NewHashModelWithSynonyms(64, map[string][]string{
+		"grill": {"barbecue", "bbq"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := JoinStrings(context.Background(), m,
+		[]string{"barbecue"}, []string{"bbq"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("synonyms should match: %v", matches)
+	}
+}
+
+func TestRandomModel(t *testing.T) {
+	m, err := NewRandomModel(32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := JoinStrings(context.Background(), m,
+		[]string{"a", "b"}, []string{"a", "c"}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the exact duplicate survives a 0.99 threshold under random
+	// embeddings.
+	if len(matches) != 1 || matches[0].Left != "a" || matches[0].Right != "a" {
+		t.Errorf("matches = %v", matches)
+	}
+}
+
+func queryFixture(t *testing.T) Query {
+	t.Helper()
+	base := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	left, err := NewTable(
+		Schema{{Name: "word", Type: StringType}, {Name: "taken", Type: TimeType}},
+		[]Column{
+			StringColumn{"barbecue", "database", "clothes"},
+			TimeColumn{base, base.AddDate(0, 1, 0), base.AddDate(0, 2, 0)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewTable(
+		Schema{{Name: "term", Type: StringType}, {Name: "score", Type: Int64Type}},
+		[]Column{
+			StringColumn{"barbecues", "databases", "clothing", "giraffe"},
+			Int64Column{1, 2, 3, 4},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHashModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Query{
+		Left:  TableRef{Name: "L", Table: left, TextColumn: "word"},
+		Right: TableRef{Name: "R", Table: right, TextColumn: "term"},
+		Model: m,
+		Join:  JoinSpec{Kind: ThresholdJoin, Threshold: 0.4},
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	q := queryFixture(t)
+	res, pl, err := Run(context.Background(), q, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 3 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+	if pl.Strategy == StrategyNaiveNLJ {
+		t.Error("optimizer should replace the naive strategy")
+	}
+	tree := ExplainPlan(pl)
+	if !strings.Contains(tree, "EJoin") {
+		t.Errorf("explain output: %s", tree)
+	}
+	out, err := MaterializeResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Errorf("materialized rows = %d", out.NumRows())
+	}
+	if _, err := out.Floats("similarity"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunQueryWithPredicates(t *testing.T) {
+	q := queryFixture(t)
+	q.Right.Predicates = []Pred{{Column: "score", Op: LE, Value: int64(2)}}
+	res, _, err := Run(context.Background(), q, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		if m.Right > 1 {
+			t.Errorf("predicate violated: %+v", m)
+		}
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+}
+
+func TestEmbedColumnAndIndex(t *testing.T) {
+	q := queryFixture(t)
+	ctx := context.Background()
+
+	rt, err := EmbedColumn(ctx, q.Right.Table, "term", "emb", q.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Vectors("emb"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Index over the vector column.
+	idx, err := BuildIndex(ctx, rt, "emb", nil, IndexConfig{M: 4, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != rt.NumRows() {
+		t.Errorf("index len = %d", idx.Len())
+	}
+
+	// Index over the text column (embeds internally).
+	idx2, err := BuildIndex(ctx, q.Right.Table, "term", q.Model, IndexConfig{M: 4, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != q.Right.Table.NumRows() {
+		t.Errorf("index2 len = %d", idx2.Len())
+	}
+
+	// Text column without a model fails.
+	if _, err := BuildIndex(ctx, q.Right.Table, "term", nil, IndexConfig{}); err == nil {
+		t.Error("expected error for text column without model")
+	}
+	// Unknown column fails.
+	if _, err := BuildIndex(ctx, q.Right.Table, "nope", q.Model, IndexConfig{}); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestRunQueryWithIndex(t *testing.T) {
+	q := queryFixture(t)
+	ctx := context.Background()
+	idx, err := BuildIndex(ctx, q.Right.Table, "term", q.Model, IndexConfig{M: 8, EfConstruction: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Right.Index = idx
+	q.Join = JoinSpec{Kind: TopKJoin, K: 1, Threshold: -2}
+
+	s := StrategyIndex
+	opt := NewOptimizer()
+	opt.ForceStrategy = &s
+	res, pl, err := Run(ctx, q, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != StrategyIndex {
+		t.Errorf("strategy = %v", pl.Strategy)
+	}
+	if len(res.Matches) != 3 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+}
+
+func TestIndexConfigPresets(t *testing.T) {
+	hi, lo := IndexConfigHi(), IndexConfigLo()
+	if hi.M != 64 || lo.M != 32 {
+		t.Errorf("presets: hi=%+v lo=%+v", hi, lo)
+	}
+}
+
+func TestCostParamsSurface(t *testing.T) {
+	p := DefaultCostParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewHashModel(16)
+	cp, err := CalibrateCostParams(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Model <= 0 {
+		t.Errorf("calibrated params: %+v", cp)
+	}
+}

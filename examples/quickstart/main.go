@@ -1,0 +1,47 @@
+// Quickstart: join two lists of strings on semantic similarity.
+//
+// The embedding model handles context (misspellings, plural forms, word
+// variants); the join only sees vectors and a threshold. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ejoin"
+)
+
+func main() {
+	// 100-dimensional FastText-like model: subword n-gram hashing makes
+	// misspellings and inflections land near their source word.
+	m, err := ejoin.NewHashModel(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	catalog := []string{"barbecue", "database", "clothes", "mountain"}
+	feed := []string{"barbecues", "barbicue", "databases", "clothing", "giraffe"}
+
+	matches, err := ejoin.JoinStrings(context.Background(), m, catalog, feed, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d semantic matches at threshold 0.35:\n", len(matches))
+	for _, match := range matches {
+		fmt.Printf("  %-10s ~ %-10s (similarity %.3f)\n", match.Left, match.Right, match.Sim)
+	}
+
+	// Top-k form: the k best matches per left string, no threshold needed.
+	top, err := ejoin.TopKStrings(context.Background(), m, []string{"clothes"}, feed, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-2 matches for \"clothes\":")
+	for _, match := range top {
+		fmt.Printf("  %-10s (similarity %.3f)\n", match.Right, match.Sim)
+	}
+}

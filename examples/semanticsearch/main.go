@@ -1,0 +1,114 @@
+// Semantic search service: batched retrieval over a persisted index —
+// the paper's observation that "batching many search queries would be
+// equivalent to a join operation for better use of the available
+// parallelism" (Section II-A3), as a retrieval-augmented-generation style
+// pipeline: documents are embedded and indexed once, saved to disk, and
+// query batches join against the loaded index.
+//
+// Run with:
+//
+//	go run ./examples/semanticsearch
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"ejoin"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Document corpus with semantic clusters (the knowledge base).
+	docs := []string{
+		"postgres transaction tuning",
+		"postgresql index maintenance",
+		"mysql replication setup",
+		"grilling barbecue recipes",
+		"barbecues for the summer",
+		"clothing size guide",
+		"dresses and garments catalog",
+		"mountain hiking trails",
+		"river kayaking guide",
+		"quantum computing primer",
+	}
+	m, err := ejoin.NewHashModelWithSynonyms(100, map[string][]string{
+		"db":    {"postgres", "postgresql", "mysql", "database"},
+		"grill": {"grilling", "barbecue", "barbecues", "bbq", "cooking", "outdoors"},
+		"wear":  {"clothing", "dresses", "garments", "clothes"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase: embed the corpus, attach the vector column, build the
+	// index, and persist it (construction dominates probe cost).
+	corpus, err := ejoin.NewTable(
+		ejoin.Schema{{Name: "doc", Type: ejoin.StringType}},
+		[]ejoin.Column{ejoin.StringColumn(docs)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err = ejoin.EmbedColumn(ctx, corpus, "doc", "emb", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := ejoin.BuildIndex(ctx, corpus, "emb", nil, ejoin.IndexConfig{
+		M: 8, EfConstruction: 64, EfSearch: 32, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stored bytes.Buffer
+	if err := idx.Save(&stored); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents (%d bytes on disk)\n\n", idx.Len(), stored.Len())
+
+	// Online phase: load the index and serve a query BATCH as one join.
+	loaded, err := ejoin.LoadIndex(&stored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []string{"database administration", "bbq ideas", "what clothes to buy"}
+	queryTable, err := ejoin.NewTable(
+		ejoin.Schema{{Name: "q", Type: ejoin.StringType}},
+		[]ejoin.Column{ejoin.StringColumn(queries)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := ejoin.Query{
+		Left:  ejoin.TableRef{Name: "queries", Table: queryTable, TextColumn: "q"},
+		Right: ejoin.TableRef{Name: "corpus", Table: corpus, VectorColumn: "emb", Index: loaded},
+		Model: m,
+		Join:  ejoin.JoinSpec{Kind: ejoin.TopKJoin, K: 2, Threshold: -2},
+	}
+	strategy := ejoin.StrategyIndex
+	opt := ejoin.NewOptimizer()
+	opt.ForceStrategy = &strategy
+	res, _, err := ejoin.Run(ctx, q, nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("batched retrieval (top-2 per query, one join):")
+	for _, match := range res.Matches {
+		fmt.Printf("  %-28q -> %-34q %.3f\n", queries[match.Left], docs[match.Right], match.Sim)
+	}
+
+	// Semantic WHERE: filter the corpus by similarity to a topic.
+	hits, err := ejoin.SelectStrings(ctx, m, docs, "cooking outdoors", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nσ_E(corpus, \"cooking outdoors\", τ=0.3):")
+	for _, h := range hits {
+		fmt.Printf("  row %d: %-34q %.3f\n", h.Row, h.Value, h.Sim)
+	}
+}

@@ -1,0 +1,149 @@
+package ejoin
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"ejoin/internal/core"
+	"ejoin/internal/hnsw"
+	"ejoin/internal/ivf"
+	"ejoin/internal/lsh"
+	"ejoin/internal/plan"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+	"ejoin/internal/vindex"
+)
+
+// SelectionMatch is one row selected by SelectStrings.
+type SelectionMatch struct {
+	// Row is the input offset.
+	Row int
+	// Value is the input string.
+	Value string
+	// Sim is the cosine similarity to the query.
+	Sim float32
+}
+
+// SelectStrings is the E-selection operator σ_{E,µ,θ}: it returns the
+// inputs whose semantic similarity to query is at least threshold — a
+// semantic WHERE clause. Cost is |R|·(A+M+C) (one model call per input
+// plus one for the query).
+func SelectStrings(ctx context.Context, m Model, inputs []string, query string, threshold float32) ([]SelectionMatch, error) {
+	res, err := core.ESelect(ctx, m, inputs, query, threshold, core.Options{Kernel: vec.KernelSIMD})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SelectionMatch, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = SelectionMatch{Row: r, Value: inputs[r], Sim: res.Sims[i]}
+	}
+	return out, nil
+}
+
+// LoadIndex reads an HNSW index previously written with Index.Save.
+// Index construction dominates probe cost, so persisting built indexes is
+// how production deployments amortize it.
+func LoadIndex(r io.Reader) (*Index, error) {
+	return hnsw.Load(r)
+}
+
+// VectorIndex is the access-path abstraction both index types satisfy:
+// anything assigned to TableRef.Index. HNSW probes are logarithmic with
+// traversal-bound pre-filters; IVF scans nprobe partitions with filters
+// applied before the distance computation.
+type VectorIndex = vindex.Index
+
+// IVFConfig holds IVF-Flat construction parameters.
+type IVFConfig = ivf.Config
+
+// IVFIndex is an inverted-file vector index (k-means partitions + list
+// scans) — cheaper to build than HNSW, more comparisons per probe at
+// equal recall.
+type IVFIndex = ivf.Index
+
+// BuildIVFIndex constructs an IVF-Flat index over the embeddings of the
+// named column (VECTOR directly, TEXT through the model).
+func BuildIVFIndex(ctx context.Context, t *Table, column string, m Model, cfg IVFConfig) (*IVFIndex, error) {
+	em, err := columnEmbeddings(ctx, t, column, m)
+	if err != nil {
+		return nil, err
+	}
+	return ivf.Build(em, cfg)
+}
+
+// LSHParams configures the locality-sensitive-hashing approximate join.
+type LSHParams = lsh.Params
+
+// DefaultLSHParams suits unit-norm embeddings and thresholds around 0.7-0.9.
+func DefaultLSHParams() LSHParams { return lsh.DefaultParams() }
+
+// SemanticPred is a similarity predicate over a context-rich column:
+// σ(sim(E_µ(Column), E_µ(Query)) >= Threshold).
+type SemanticPred = plan.SemanticPred
+
+// SemanticFilterResult is the output of FilterTable.
+type SemanticFilterResult = plan.SemanticFilterResult
+
+// FilterTable applies relational predicates and then a semantic predicate
+// to a table — the declarative E-selection path. Relational predicates run
+// first so the model embeds only surviving tuples.
+func FilterTable(ctx context.Context, t *Table, m Model, preds []Pred, sem SemanticPred) (*SemanticFilterResult, error) {
+	return plan.SemanticFilter(ctx, t, m, preds, sem)
+}
+
+// Ordering re-exports: ORDER BY and LIMIT over selections.
+const (
+	// Ascending sorts smallest first.
+	Ascending = relational.Ascending
+	// Descending sorts largest first.
+	Descending = relational.Descending
+)
+
+// SortOrder is the direction of an ORDER BY.
+type SortOrder = relational.SortOrder
+
+// SortSelection reorders sel by the named column's values (stable).
+func SortSelection(t *Table, sel Selection, column string, order SortOrder) (Selection, error) {
+	return relational.SortSelection(t, sel, column, order)
+}
+
+// TopNBy is ORDER BY column LIMIT n over the whole table.
+func TopNBy(t *Table, column string, order SortOrder, n int) (Selection, error) {
+	return relational.TopNBy(t, column, order, n)
+}
+
+// ReadCSV parses CSV content (header row required, field names matching
+// the schema) into a table.
+func ReadCSV(r io.Reader, schema Schema) (*Table, error) {
+	return relational.ReadCSV(r, schema)
+}
+
+// WriteCSV renders a table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	return relational.WriteCSV(w, t)
+}
+
+// ApproxJoinStrings is the LSH baseline join: candidate pairs come from
+// SimHash band collisions and are verified exactly against the threshold.
+// Faster than the exact join when matches are rare, at sub-1.0 recall —
+// the trade-off the paper positions the exact tensor join against.
+func ApproxJoinStrings(ctx context.Context, m Model, left, right []string, threshold float32, p LSHParams) ([]StringMatch, error) {
+	lm, err := core.Embed(ctx, m, left)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding left input: %w", err)
+	}
+	rm, err := core.Embed(ctx, m, right)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding right input: %w", err)
+	}
+	j, err := lsh.NewJoiner(m.Dim(), p)
+	if err != nil {
+		return nil, err
+	}
+	matches, _, err := j.Join(ctx, lm, rm, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return toStringMatches(left, right, &core.Result{Matches: matches}), nil
+}

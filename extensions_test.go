@@ -1,0 +1,109 @@
+package ejoin
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestSelectStrings(t *testing.T) {
+	m, err := NewHashModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{"barbecues", "databases", "barbicue", "giraffe"}
+	hits, err := SelectStrings(context.Background(), m, docs, "barbecue", 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, h := range hits {
+		got[h.Value] = true
+		if h.Sim < 0.35 {
+			t.Errorf("below threshold: %+v", h)
+		}
+		if docs[h.Row] != h.Value {
+			t.Errorf("row/value misaligned: %+v", h)
+		}
+	}
+	if !got["barbecues"] || !got["barbicue"] {
+		t.Errorf("expected barbecue variants, got %v", got)
+	}
+	if got["giraffe"] {
+		t.Error("giraffe selected")
+	}
+	if _, err := SelectStrings(context.Background(), m, docs, "", 0.5); err == nil {
+		t.Error("expected error for empty query")
+	}
+}
+
+func TestIndexSaveLoadPublicAPI(t *testing.T) {
+	m, _ := NewHashModel(32)
+	ctx := context.Background()
+	tbl, err := NewTable(
+		Schema{{Name: "w", Type: StringType}},
+		[]Column{StringColumn{"alpha", "beta", "gamma", "delta"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(ctx, tbl, "w", m, IndexConfig{M: 4, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 4 {
+		t.Errorf("loaded len = %d", loaded.Len())
+	}
+	if _, err := LoadIndex(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}
+
+func TestApproxJoinStrings(t *testing.T) {
+	m, _ := NewHashModel(64)
+	ctx := context.Background()
+	left := []string{"barbecue", "database", "mountain"}
+	right := []string{"barbecues", "databases", "rivers"}
+
+	exact, err := JoinStrings(ctx, m, left, right, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxJoinStrings(ctx, m, left, right, 0.6, LSHParams{Bands: 32, BitsPerBand: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With aggressive banding, recall on these near-duplicates is total.
+	if len(approx) != len(exact) {
+		t.Errorf("approx %d vs exact %d matches", len(approx), len(exact))
+	}
+	for _, a := range approx {
+		if a.Sim < 0.6 {
+			t.Errorf("below threshold: %+v", a)
+		}
+	}
+	// Parameter validation propagates.
+	if _, err := ApproxJoinStrings(ctx, m, left, right, 0.6, LSHParams{Bands: 0, BitsPerBand: 4}); err == nil {
+		t.Error("expected params error")
+	}
+	if _, err := ApproxJoinStrings(ctx, m, []string{""}, right, 0.6, DefaultLSHParams()); err == nil {
+		t.Error("expected embed error")
+	}
+	if _, err := ApproxJoinStrings(ctx, m, left, []string{""}, 0.6, DefaultLSHParams()); err == nil {
+		t.Error("expected embed error")
+	}
+}
+
+func TestDefaultLSHParams(t *testing.T) {
+	if err := DefaultLSHParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

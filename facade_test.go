@@ -1,0 +1,128 @@
+package ejoin
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFilterTablePublicAPI(t *testing.T) {
+	q := queryFixture(t)
+	res, err := FilterTable(context.Background(), q.Left.Table, q.Model,
+		[]Pred{}, SemanticPred{Column: "word", Query: "barbecues", Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, _ := q.Left.Table.Strings("word")
+	if len(res.Rows) != 1 || words[res.Rows[0]] != "barbecue" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	out, err := res.Table(q.Left.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("materialized rows = %d", out.NumRows())
+	}
+	if _, err := out.Floats("similarity"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortTopNPublicAPI(t *testing.T) {
+	tbl, err := NewTable(
+		Schema{{Name: "score", Type: Float64Type}},
+		[]Column{Float64Column{3, 1, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SortSelection(tbl, Selection{0, 1, 2}, "score", Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 1 || sel[2] != 0 {
+		t.Errorf("asc = %v", sel)
+	}
+	top, err := TopNBy(tbl, "score", Descending, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("top1 = %v", top)
+	}
+}
+
+func TestCSVPublicAPI(t *testing.T) {
+	schema := Schema{
+		{Name: "id", Type: Int64Type},
+		{Name: "name", Type: StringType},
+	}
+	tbl, err := ReadCSV(strings.NewReader("id,name\n1,ant\n2,bee\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := back.Strings("name")
+	if names[1] != "bee" {
+		t.Errorf("round trip names = %v", names)
+	}
+}
+
+// TestFullPipelinePublicAPI chains ingestion -> semantic filter -> join ->
+// order-by-similarity -> limit through the public surface only.
+func TestFullPipelinePublicAPI(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewHashModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := ReadCSV(strings.NewReader(
+		"sku,name\n1,barbecue\n2,database\n3,clothes\n"),
+		Schema{{Name: "sku", Type: Int64Type}, {Name: "name", Type: StringType}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := ReadCSV(strings.NewReader(
+		"title\nbarbecues\ndatabases\nclothing\ngiraffe\n"),
+		Schema{{Name: "title", Type: StringType}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Left:  TableRef{Name: "catalog", Table: catalog, TextColumn: "name"},
+		Right: TableRef{Name: "feed", Table: feed, TextColumn: "title"},
+		Model: m,
+		Join:  JoinSpec{Kind: ThresholdJoin, Threshold: 0.35},
+	}
+	res, _, err := Run(ctx, q, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := MaterializeResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := TopNBy(joined, "similarity", Descending, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 2 {
+		t.Fatalf("best = %v", best)
+	}
+	sims, _ := joined.Floats("similarity")
+	if sims[best[0]] < sims[best[1]] {
+		t.Error("not ordered by similarity")
+	}
+}

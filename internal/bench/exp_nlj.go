@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"ejoin/internal/core"
+	"ejoin/internal/model"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// expFig8 regenerates Figure 8: the impact of logical (prefetch) and
+// physical (SIMD) optimization on the NLJ formulation. The naive variants
+// embed per pair; prefetch embeds once per tuple. The paper's orders-of-
+// magnitude gap comes from the quadratic model cost, and SIMD only helps
+// once the logical bottleneck is removed.
+func expFig8() Experiment {
+	return Experiment{
+		Name:        "fig8",
+		Paper:       "Figure 8",
+		Description: "Logical (prefetch) x physical (SIMD) optimization of the E-NLJ; 100-D vectors. Paper sizes 1k/10k scaled down (naive is quadratic in model calls by design).",
+		Run: func(w io.Writer, cfg Config) error {
+			inner, err := model.NewHashEmbedder(100)
+			if err != nil {
+				return err
+			}
+			ctx := context.Background()
+			shapes := []struct{ nr, ns int }{
+				{cfg.size(100), cfg.size(100)},
+				{cfg.size(300), cfg.size(100)},
+				{cfg.size(300), cfg.size(300)},
+			}
+			t := newTable("|R| x |S|", "NO-SIMD [ms]", "SIMD [ms]", "Prefetch NO-SIMD [ms]", "Prefetch SIMD [ms]", "Naive/Prefetch")
+			for _, sh := range shapes {
+				left := workload.Strings(cfg.Seed, sh.nr, nil)
+				right := workload.Strings(cfg.Seed+1, sh.ns, nil)
+				var durs [4]float64
+				cells := make([]string, 0, 6)
+				cells = append(cells, fmt.Sprintf("%dx%d", sh.nr, sh.ns))
+				for i, variant := range []struct {
+					prefetch bool
+					kernel   vec.Kernel
+				}{
+					{false, vec.KernelScalar},
+					{false, vec.KernelSIMD},
+					{true, vec.KernelScalar},
+					{true, vec.KernelSIMD},
+				} {
+					opts := core.Options{Kernel: variant.kernel, Threads: cfg.threads()}
+					d, err := timed(func() error {
+						if variant.prefetch {
+							_, err := core.PrefetchNLJ(ctx, inner, left, right, 0.8, opts)
+							return err
+						}
+						_, err := core.NaiveNLJ(ctx, inner, left, right, 0.8, opts)
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					durs[i] = float64(d.Microseconds()) / 1000
+					cells = append(cells, ms(d))
+				}
+				cells = append(cells, ratio(durs[1], durs[3]))
+				t.addRow(cells...)
+			}
+			t.print(w)
+			fmt.Fprintln(w, "\nShape check: prefetch beats naive by a growing factor; SIMD only pays off after prefetch removes the model bottleneck.")
+			return nil
+		},
+	}
+}
+
+// expFig9 regenerates Figure 9: thread scalability of the optimized NLJ,
+// SIMD vs NO-SIMD, rescaled from the paper's 48 hardware threads to the
+// host's.
+func expFig9() Experiment {
+	return Experiment{
+		Name:        "fig9",
+		Paper:       "Figure 9",
+		Description: "Optimized (prefetched) NLJ scalability with thread count, 100-D vectors, SIMD vs NO-SIMD kernels.",
+		Run: func(w io.Writer, cfg Config) error {
+			n := cfg.size(2000)
+			left := workload.Vectors(cfg.Seed, n, 100)
+			right := workload.Vectors(cfg.Seed+1, n, 100)
+			ctx := context.Background()
+			maxT := cfg.threads()
+			var threadAxis []int
+			for th := 1; th <= maxT; th *= 2 {
+				threadAxis = append(threadAxis, th)
+			}
+			if threadAxis[len(threadAxis)-1] != maxT {
+				threadAxis = append(threadAxis, maxT)
+			}
+			threadAxis = append(threadAxis, maxT*2) // oversubscription point
+
+			t := newTable("Threads", "SIMD [ms]", "NO-SIMD [ms]", "SIMD speedup vs 1T")
+			var simd1 float64
+			for _, th := range threadAxis {
+				dS, err := timed(func() error {
+					_, err := core.NLJ(ctx, left, right, 0.8, core.Options{Kernel: vec.KernelSIMD, Threads: th})
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				dN, err := timed(func() error {
+					_, err := core.NLJ(ctx, left, right, 0.8, core.Options{Kernel: vec.KernelScalar, Threads: th})
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				if simd1 == 0 {
+					simd1 = float64(dS.Microseconds())
+				}
+				t.addRow(fmt.Sprintf("%d", th), ms(dS), ms(dN), ratio(simd1, float64(dS.Microseconds())))
+			}
+			t.print(w)
+			fmt.Fprintf(w, "\n(%dx%d join; host has %d scheduler threads vs the paper's 48.)\n", n, n, maxT)
+			return nil
+		},
+	}
+}
+
+// expFig10 regenerates Figure 10: optimized NLJ across input shapes —
+// execution time scales with the number of operations, and keeping the
+// smaller relation in the inner loop wins (paper: up to ~35%).
+func expFig10() Experiment {
+	return Experiment{
+		Name:        "fig10",
+		Paper:       "Figure 10",
+		Description: "Optimized NLJ with varying |R|x|S| shapes, 100-D: time scales with #operations; smaller inner relation is faster.",
+		Run: func(w io.Writer, cfg Config) error {
+			ctx := context.Background()
+			shapes := []struct{ nr, ns int }{
+				// ~1e6 pair groups
+				{cfg.size(1000), cfg.size(1000)},
+				{cfg.size(10000), cfg.size(100)},
+				{cfg.size(100), cfg.size(10000)},
+				// ~1e7 pair groups
+				{cfg.size(10000), cfg.size(1000)},
+				{cfg.size(1000), cfg.size(10000)},
+				// ~1e8 pair groups
+				{cfg.size(10000), cfg.size(10000)},
+				{cfg.size(100000), cfg.size(1000)},
+				{cfg.size(1000), cfg.size(100000)},
+			}
+			t := newTable("|R| x |S|", "Pairs", "Time [ms]", "ns/pair")
+			for _, sh := range shapes {
+				left := workload.Vectors(cfg.Seed, sh.nr, 100)
+				right := workload.Vectors(cfg.Seed+1, sh.ns, 100)
+				d, err := timed(func() error {
+					_, err := core.NLJ(ctx, left, right, 0.8, core.Options{Kernel: vec.KernelSIMD, Threads: cfg.threads()})
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				pairs := int64(sh.nr) * int64(sh.ns)
+				t.addRow(fmt.Sprintf("%dx%d", sh.nr, sh.ns), fmt.Sprintf("%d", pairs), ms(d), nsPerElem(d, pairs))
+			}
+			t.print(w)
+			fmt.Fprintln(w, "\nShape check: equal-pair shapes take similar time; big-outer/small-inner beats small-outer/big-inner.")
+			return nil
+		},
+	}
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's contribution: the physical operators
+// of the context-enhanced relational join (E-join) and the embedding
+// operator E_µ they compose with.
+//
+// Four join strategies are provided, in the order the paper derives them:
+//
+//   - NaiveNLJ: the straightforward extension of nested-loop join where the
+//     model is invoked per compared pair — the |R|·|S|·(A+M+C) cost of
+//     Equation (E-NL Join Cost). Exists to quantify what the logical
+//     optimization buys; never use it for real work.
+//   - NLJ over prefetched embeddings: the logically optimized form with
+//     (|R|+|S|)·M model cost (Equation E-NLJ Prefetch Optimization),
+//     parallel over R partitions, scalar or SIMD-style kernels.
+//   - Tensor join: the holistic formulation — pairwise cosine similarity as
+//     a cache-blocked D = R·Sᵀ with mini-batches bounded by a memory budget
+//     (Figures 6 and 7), emitting late-materialized (rOffset, sOffset)
+//     pairs.
+//   - Index join: probes an HNSW index per R tuple (top-k or range) with
+//     optional relational pre-filtering — the vector-database strategy of
+//     Section VI-E.
+//
+// All strategies compute the same logical result for the same condition
+// (index join approximately so), which the test suite checks by property.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+// Options tunes physical execution of the scan-based operators.
+type Options struct {
+	// Kernel selects scalar or SIMD-style compute kernels.
+	Kernel vec.Kernel
+	// Threads is the worker count; <=0 means GOMAXPROCS.
+	Threads int
+	// BudgetBytes bounds the tensor join's intermediate block (Section V-B).
+	// <=0 means unbatched.
+	BudgetBytes int64
+	// BatchRows/BatchCols explicitly fix the tensor mini-batch shape
+	// (overrides BudgetBytes when both are positive).
+	BatchRows int
+	BatchCols int
+	// LeftFilter/RightFilter restrict which rows participate, carrying
+	// pushed-down relational predicates into the vector operator.
+	LeftFilter  *relational.Bitmap
+	RightFilter *relational.Bitmap
+}
+
+// Match is one qualifying pair with its similarity: the late-materialized
+// result unit (tuple offsets + score), per Figure 6 step 2.
+type Match struct {
+	Left  int
+	Right int
+	Sim   float32
+}
+
+// Stats records what an operator actually did — the observable side of the
+// cost model (model calls M, comparisons C, intermediate footprint).
+type Stats struct {
+	// ModelCalls is the number of Embed invocations attributable to the
+	// operator (quadratic for NaiveNLJ, linear for prefetch).
+	ModelCalls int64
+	// Comparisons is the number of vector pair comparisons.
+	Comparisons int64
+	// Blocks is the number of tensor mini-batches computed.
+	Blocks int
+	// PeakIntermediateBytes is the largest similarity block materialized.
+	PeakIntermediateBytes int64
+	// EmbedTime is time spent in the model (prefetch phase).
+	EmbedTime time.Duration
+	// JoinTime is time spent comparing/joining.
+	JoinTime time.Duration
+}
+
+// Result is the output of a join operator.
+type Result struct {
+	Matches []Match
+	Stats   Stats
+}
+
+// Pairs converts matches to relational pairs (dropping similarities), for
+// composition with relational materialization.
+func (r *Result) Pairs() []relational.Pair {
+	out := make([]relational.Pair, len(r.Matches))
+	for i, m := range r.Matches {
+		out[i] = relational.Pair{Left: m.Left, Right: m.Right}
+	}
+	return out
+}
+
+// sortMatches orders matches by (Left, Right) for deterministic output
+// regardless of parallel execution order.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Left != ms[j].Left {
+			return ms[i].Left < ms[j].Left
+		}
+		return ms[i].Right < ms[j].Right
+	})
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ejoin/internal/mat"
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+// SelectionResult is the output of the E-selection operator.
+type SelectionResult struct {
+	// Rows are the qualifying input offsets, ascending.
+	Rows relational.Selection
+	// Sims holds the similarity of each qualifying row to the query.
+	Sims []float32
+	// Stats records the operator's work.
+	Stats Stats
+}
+
+// ESelect implements the E-selection operator σ_{E,µ,θ}(R) of Section III-C:
+// embed every input tuple with the model and keep those whose cosine
+// similarity to the (embedded) query satisfies sim >= threshold. Cost is
+// |R|·(A + M + C) — Equation (E-Selection Cost).
+//
+// This is the semantic WHERE clause: σ(sim(E(name), E("barbecue")) >= 0.6).
+func ESelect(ctx context.Context, m model.Model, inputs []string, query string, threshold float32, opts Options) (*SelectionResult, error) {
+	qe, err := m.Embed(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: embedding selection query: %w", err)
+	}
+	vec.Normalize(qe)
+	start := time.Now()
+	res := &SelectionResult{}
+	res.Stats.ModelCalls = 1
+	for i, s := range inputs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: e-select cancelled at row %d: %w", i, err)
+		}
+		if opts.LeftFilter != nil && !opts.LeftFilter.Get(i) {
+			continue
+		}
+		e, err := m.Embed(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: e-select embedding row %d: %w", i, err)
+		}
+		res.Stats.ModelCalls++
+		res.Stats.Comparisons++
+		if sim := vec.Cosine(opts.Kernel, qe, e); sim >= threshold {
+			res.Rows = append(res.Rows, i)
+			res.Sims = append(res.Sims, sim)
+		}
+	}
+	res.Stats.JoinTime = time.Since(start)
+	return res, nil
+}
+
+// ESelectVectors is the E-selection over prefetched (unit-norm)
+// embeddings: no model on the critical path, comparisons only.
+func ESelectVectors(ctx context.Context, rows *mat.Matrix, query []float32, threshold float32, opts Options) (*SelectionResult, error) {
+	if len(query) != rows.Cols() {
+		return nil, fmt.Errorf("core: e-select query dim %d, rows dim %d", len(query), rows.Cols())
+	}
+	nq := vec.Clone(query)
+	vec.Normalize(nq)
+	start := time.Now()
+	res := &SelectionResult{}
+	for i := 0; i < rows.Rows(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: e-select cancelled at row %d: %w", i, err)
+		}
+		if opts.LeftFilter != nil && !opts.LeftFilter.Get(i) {
+			continue
+		}
+		res.Stats.Comparisons++
+		if sim := vec.Dot(opts.Kernel, nq, rows.Row(i)); sim >= threshold {
+			res.Rows = append(res.Rows, i)
+			res.Sims = append(res.Sims, sim)
+		}
+	}
+	res.Stats.JoinTime = time.Since(start)
+	return res, nil
+}

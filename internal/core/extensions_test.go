@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ejoin/internal/mat"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+func TestESelect(t *testing.T) {
+	m := testModel(t, 64)
+	ctx := context.Background()
+	inputs := []string{"barbecues", "databases", "clothing", "giraffe", "barbicue"}
+	res, err := ESelect(ctx, m, inputs, "barbecue", 0.35, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, r := range res.Rows {
+		got[r] = true
+	}
+	if !got[0] || !got[4] {
+		t.Errorf("expected rows 0 and 4 (barbecue variants), got %v", res.Rows)
+	}
+	if got[3] {
+		t.Errorf("giraffe selected: %v", res.Rows)
+	}
+	if len(res.Sims) != len(res.Rows) {
+		t.Fatal("sims not aligned with rows")
+	}
+	for _, s := range res.Sims {
+		if s < 0.35 {
+			t.Errorf("similarity %v below threshold", s)
+		}
+	}
+	// Cost: 1 query embed + |R| tuple embeds.
+	if res.Stats.ModelCalls != int64(1+len(inputs)) {
+		t.Errorf("model calls = %d, want %d", res.Stats.ModelCalls, 1+len(inputs))
+	}
+}
+
+func TestESelectFilterAndErrors(t *testing.T) {
+	m := testModel(t, 32)
+	ctx := context.Background()
+	inputs := []string{"barbecue", "barbecues"}
+	lf := relational.BitmapFromSelection(2, relational.Selection{1})
+	res, err := ESelect(ctx, m, inputs, "barbecue", 0.3, Options{LeftFilter: lf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0] != 1 {
+		t.Errorf("filter not respected: %v", res.Rows)
+	}
+	if _, err := ESelect(ctx, m, inputs, "", 0.3, Options{}); err == nil {
+		t.Error("expected error for empty query")
+	}
+	if _, err := ESelect(ctx, m, []string{""}, "q", 0.3, Options{}); err == nil {
+		t.Error("expected error for empty input")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := ESelect(cctx, m, inputs, "barbecue", 0.3, Options{}); err == nil {
+		t.Error("expected cancellation")
+	}
+}
+
+func TestESelectVectors(t *testing.T) {
+	ctx := context.Background()
+	rows := randomEmbeddings(31, 50, 16)
+	q := vec.Clone(rows.Row(7))
+	res, err := ESelectVectors(ctx, rows, q, 0.999, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Rows {
+		if r == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self row not selected: %v", res.Rows)
+	}
+	if res.Stats.Comparisons != 50 {
+		t.Errorf("comparisons = %d", res.Stats.Comparisons)
+	}
+	// Dim mismatch.
+	if _, err := ESelectVectors(ctx, rows, make([]float32, 3), 0.5, Options{}); err == nil {
+		t.Error("expected dim error")
+	}
+	// Agreement with string path through a model: both use cosine >= τ.
+	sel2, err := ESelectVectors(ctx, rows, q, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel2.Rows) != 50 {
+		t.Errorf("threshold -1 should select all: %d", len(sel2.Rows))
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := ESelectVectors(cctx, rows, q, 0.5, Options{}); err == nil {
+		t.Error("expected cancellation")
+	}
+}
+
+// TestNLJF16MatchesFloat32 validates the half-precision ablation: same
+// matches as the float32 join away from the threshold boundary.
+func TestNLJF16MatchesFloat32(t *testing.T) {
+	ctx := context.Background()
+	left := randomEmbeddings(41, 40, 32)
+	right := randomEmbeddings(42, 40, 32)
+
+	full, err := NLJ(ctx, left, right, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := NLJF16(ctx, mat.EncodeF16(left), mat.EncodeF16(right), 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare ignoring pairs within quantization slack of the threshold.
+	const slack = 0.01
+	fullSet := matchKeys(full.Matches)
+	halfSet := matchKeys(half.Matches)
+	for k, sim := range fullSet {
+		if sim < 0.5+slack {
+			continue
+		}
+		if _, ok := halfSet[k]; !ok {
+			t.Errorf("pair %v (sim %v) lost in f16", k, sim)
+		}
+	}
+	for k, sim := range halfSet {
+		if sim < 0.5+slack {
+			continue
+		}
+		if _, ok := fullSet[k]; !ok {
+			t.Errorf("pair %v (sim %v) invented by f16", k, sim)
+		}
+	}
+	// Memory: half the float32 footprint.
+	if got, want := mat.EncodeF16(left).SizeBytes(), left.SizeBytes()/2; got != want {
+		t.Errorf("f16 bytes = %d, want %d", got, want)
+	}
+}
+
+func TestNLJF16Options(t *testing.T) {
+	ctx := context.Background()
+	left := mat.EncodeF16(randomEmbeddings(43, 10, 8))
+	right := mat.EncodeF16(randomEmbeddings(44, 10, 8))
+	lf := relational.BitmapFromSelection(10, relational.Selection{0})
+	res, err := NLJF16(ctx, left, right, -1, Options{LeftFilter: lf, Kernel: vec.KernelScalar, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 10 {
+		t.Errorf("matches = %d", len(res.Matches))
+	}
+	for _, m := range res.Matches {
+		if m.Left != 0 {
+			t.Errorf("filter violated: %+v", m)
+		}
+	}
+	bad := mat.NewF16(4, 5)
+	if _, err := NLJF16(ctx, left, bad, 0, Options{}); err == nil {
+		t.Error("expected dim error")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := NLJF16(cctx, left, right, 0, Options{}); err == nil {
+		t.Error("expected cancellation")
+	}
+}
+
+func TestF16MatrixBasics(t *testing.T) {
+	m := randomEmbeddings(45, 5, 8)
+	h := mat.EncodeF16(m)
+	if h.Rows() != 5 || h.Cols() != 8 {
+		t.Fatalf("shape %dx%d", h.Rows(), h.Cols())
+	}
+	back := h.Decode()
+	for i := range m.Data {
+		d := float64(m.Data[i] - back.Data[i])
+		if d > 1e-3 || d < -1e-3 {
+			t.Fatalf("element %d: %v vs %v", i, m.Data[i], back.Data[i])
+		}
+	}
+	if len(h.Row(2)) != 8 {
+		t.Error("Row broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative dims")
+		}
+	}()
+	mat.NewF16(-1, 1)
+}

@@ -1,0 +1,271 @@
+// Package cost implements the abstract cost model of Section IV-A and the
+// scan-versus-probe access path selection of Section VI-E.
+//
+// Costs are expressed in abstract work units. As the paper notes, "the cost
+// model should be parametrized based on their mutually normalized relative
+// performance": Params carries those relative weights, and Calibrate
+// measures them on the running machine.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ejoin/internal/model"
+	"ejoin/internal/vec"
+)
+
+// Params are the cost-model coefficients, per the paper's notation:
+// A (data access per tuple), M (model embedding per tuple), C (comparison
+// of one vector pair). Index terms extend the model for Section IV-B.
+type Params struct {
+	// Access is A: per-tuple data access cost.
+	Access float64
+	// Model is M: per-tuple embedding cost (lookup or inference).
+	Model float64
+	// Compare is C: cost of one d-dimensional pair comparison.
+	Compare float64
+	// TensorSpeedup is how much cheaper a comparison is inside the blocked
+	// tensor formulation than in tuple-at-a-time NLJ (cache locality +
+	// kernel quality); > 1 means faster.
+	TensorSpeedup float64
+	// ProbeHop is the cost of one graph hop during an index probe; a probe
+	// visits ~ProbeWidth·log2(|S|) nodes.
+	ProbeHop float64
+	// ProbeWidth scales probe cost with beam width / k.
+	ProbeWidth float64
+	// Build is the per-tuple index construction cost.
+	Build float64
+}
+
+// DefaultParams returns coefficients that reproduce the paper's qualitative
+// regimes: model ≫ comparison ≫ access, tensor ~5x better cache behavior,
+// probes logarithmic in |S| but with a large constant — a top-1 probe with
+// pre-filtering costs about as much as a blocked scan of a few hundred
+// thousand vectors, which is what places the Figure 15 crossover at
+// ~20-30% selectivity.
+func DefaultParams() Params {
+	return Params{
+		Access:        1,
+		Model:         200,
+		Compare:       25,
+		TensorSpeedup: 5,
+		ProbeHop:      2000,
+		ProbeWidth:    1.5,
+		Build:         300,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Access < 0 || p.Model < 0 || p.Compare < 0 || p.Build < 0 {
+		return fmt.Errorf("cost: negative coefficients: %+v", p)
+	}
+	if p.TensorSpeedup <= 0 {
+		return fmt.Errorf("cost: TensorSpeedup must be positive, got %v", p.TensorSpeedup)
+	}
+	if p.ProbeHop < 0 || p.ProbeWidth <= 0 {
+		return fmt.Errorf("cost: invalid probe parameters: %+v", p)
+	}
+	return nil
+}
+
+// ESelection is Cost(σ_{E,µ,θ}(R)) = |R|·(A + M + C): scan, embed, apply
+// the condition per tuple.
+func (p Params) ESelection(n int) float64 {
+	return float64(n) * (p.Access + p.Model + p.Compare)
+}
+
+// NaiveENLJoin is Cost(R ⋈ S) = |R|·|S|·(A + M + C): the direct NLJ
+// extension with per-pair model access (quadratic model cost).
+func (p Params) NaiveENLJoin(nr, ns int) float64 {
+	return float64(nr) * float64(ns) * (p.Access + p.Model + p.Compare)
+}
+
+// PrefetchENLJoin is Cost = |R|·|S|·(A + C) + (|R|+|S|)·M: the logically
+// optimized join embedding each tuple exactly once.
+func (p Params) PrefetchENLJoin(nr, ns int) float64 {
+	return float64(nr)*float64(ns)*(p.Access+p.Compare) + float64(nr+ns)*p.Model
+}
+
+// TensorJoin is the prefetched join with block-matrix execution: the same
+// asymptotic shape with the comparison constant divided by TensorSpeedup.
+func (p Params) TensorJoin(nr, ns int) float64 {
+	return float64(nr)*float64(ns)*(p.Access+p.Compare/p.TensorSpeedup) + float64(nr+ns)*p.Model
+}
+
+// IndexProbe is Iprobe(S) for one query: beam-scaled logarithmic traversal.
+func (p Params) IndexProbe(ns, k int) float64 {
+	if ns <= 1 {
+		return p.ProbeHop
+	}
+	beam := p.ProbeWidth * float64(k)
+	if beam < 1 {
+		beam = 1
+	}
+	return p.ProbeHop * beam * math.Log2(float64(ns))
+}
+
+// IndexJoin is Cost = |R|·Iprobe(S)·(A + C), per Equation (E-Index Join
+// Cost). Embeddings of R still cost |R|·M; the index stores S embeddings.
+// Pre-filtering does not reduce probe cost (traversal is still paid) —
+// that asymmetry is what moves the crossovers in Figures 15-17.
+func (p Params) IndexJoin(nr, ns, k int) float64 {
+	return float64(nr)*p.IndexProbe(ns, k)*(p.Access+p.Compare) + float64(nr)*p.Model
+}
+
+// IndexBuild is the one-time construction cost over |S| tuples.
+func (p Params) IndexBuild(ns int) float64 {
+	return float64(ns) * p.Build
+}
+
+// Strategy enumerates physical E-join strategies.
+type Strategy int
+
+const (
+	// StrategyNaiveNLJ embeds per pair; never chosen, present for explain
+	// output and ablation.
+	StrategyNaiveNLJ Strategy = iota
+	// StrategyNLJ is the prefetched tuple-at-a-time nested loop join.
+	StrategyNLJ
+	// StrategyTensor is the blocked matrix formulation.
+	StrategyTensor
+	// StrategyIndex probes a vector index.
+	StrategyIndex
+)
+
+// String names the strategy as used in plan explain output.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaiveNLJ:
+		return "NaiveNLJ"
+	case StrategyNLJ:
+		return "NLJ"
+	case StrategyTensor:
+		return "TensorJoin"
+	case StrategyIndex:
+		return "IndexJoin"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Choice is the outcome of access path selection.
+type Choice struct {
+	Strategy Strategy
+	// Estimates maps each considered strategy to its estimated cost.
+	Estimates map[Strategy]float64
+}
+
+// ChooseJoinStrategy picks the cheapest strategy for joining |R|=nr against
+// |S|=ns after relational filtering with the given selectivities, under a
+// top-k (k>0) or threshold (k<=0) condition. hasIndex reports whether an
+// index over S's embeddings exists (building one mid-query is counted
+// against the index strategy).
+//
+// The decision reproduces the paper's findings: scans win at low
+// selectivity (they skip filtered tuples for free, and the tensor
+// formulation makes comparisons cheap), index probes win for small k and
+// high selectivity over large S, and range (threshold) conditions penalize
+// the index (probes must over-fetch).
+func (p Params) ChooseJoinStrategy(nr, ns int, selLeft, selRight float64, k int, hasIndex bool) Choice {
+	fr := int(math.Ceil(float64(nr) * clamp01(selLeft)))
+	fs := int(math.Ceil(float64(ns) * clamp01(selRight)))
+
+	est := map[Strategy]float64{
+		StrategyNLJ:    p.PrefetchENLJoin(fr, fs),
+		StrategyTensor: p.TensorJoin(fr, fs),
+	}
+
+	// Index probes pay traversal over the full S (pre-filter semantics),
+	// probe only surviving R tuples, and over-fetch for range conditions.
+	probeK := k
+	if probeK <= 0 {
+		// Threshold probe: emulated with widened top-k (Figure 17); the
+		// effective k grows with how many S tuples could qualify.
+		probeK = 32
+	}
+	idxCost := p.IndexJoin(fr, ns, probeK)
+	if k <= 0 {
+		// Over-fetch + retry widening for range conditions.
+		idxCost *= 2
+	}
+	if !hasIndex {
+		idxCost += p.IndexBuild(ns)
+	}
+	est[StrategyIndex] = idxCost
+
+	best := StrategyTensor
+	for _, s := range []Strategy{StrategyNLJ, StrategyIndex} {
+		if est[s] < est[best] {
+			best = s
+		}
+	}
+	return Choice{Strategy: best, Estimates: est}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Calibrate measures the machine's relative A, M, and C and returns Params
+// with the remaining coefficients taken from DefaultParams. m is the model
+// whose cost will sit on the query's critical path; dim is the embedding
+// dimensionality.
+func Calibrate(m model.Model, dim int) (Params, error) {
+	p := DefaultParams()
+	const rounds = 64
+
+	// C: one d-dim dot product.
+	a := make([]float32, dim)
+	b := make([]float32, dim)
+	for i := range a {
+		a[i] = float32(i%7) * 0.25
+		b[i] = float32(i%5) * 0.5
+	}
+	var sink float32
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		sink += vec.Dot(vec.KernelSIMD, a, b)
+	}
+	compare := float64(time.Since(start).Nanoseconds()) / rounds
+
+	// A: one sequential float32 copy of a tuple.
+	buf := make([]float32, dim)
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		copy(buf, a)
+	}
+	access := float64(time.Since(start).Nanoseconds()) / rounds
+
+	// M: one model call.
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := m.Embed("calibration-token"); err != nil {
+			return Params{}, fmt.Errorf("cost: calibration embed failed: %w", err)
+		}
+	}
+	modelCost := float64(time.Since(start).Nanoseconds()) / rounds
+
+	_ = sink
+	if access <= 0 {
+		access = 1
+	}
+	p.Access = 1
+	p.Compare = compare / access
+	p.Model = modelCost / access
+	if p.Compare <= 0 {
+		p.Compare = 1
+	}
+	if p.Model <= 0 {
+		p.Model = 1
+	}
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package hnsw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the index deserializer: it must reject
+// garbage with an error, never panic, and never allocate absurdly.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid index file plus mutations.
+	data := randomUnitVectors(1, 30, 4)
+	ix, err := Build(data, Config{M: 4, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("EJHNSW01"))
+	truncated := append([]byte{}, valid[:len(valid)/2]...)
+	f.Add(truncated)
+	corrupt := append([]byte{}, valid...)
+	if len(corrupt) > 40 {
+		corrupt[20] = 0xff
+		corrupt[30] = 0xff
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		loaded, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Whatever loaded must be internally consistent enough to search.
+		if loaded.Len() == 0 {
+			return
+		}
+		q := make([]float32, loaded.Dim())
+		q[0] = 1
+		if _, err := loaded.Search(q, 1, SearchOptions{Ef: 4}); err != nil {
+			t.Fatalf("loaded index cannot search: %v", err)
+		}
+	})
+}

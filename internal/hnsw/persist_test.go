@@ -1,0 +1,119 @@
+package hnsw
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	data := randomUnitVectors(61, 300, 16)
+	orig, err := Build(data, Config{M: 8, EfConstruction: 64, EfSearch: 32, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dim() != orig.Dim() {
+		t.Fatalf("shape: %d/%d vs %d/%d", loaded.Len(), loaded.Dim(), orig.Len(), orig.Dim())
+	}
+	// Identical search results: the graph structure survived intact.
+	for _, qi := range []int{0, 50, 299} {
+		a, err := orig.Search(data[qi], 10, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(data[qi], 10, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result lengths %d vs %d", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("query %d: result %d differs: %v vs %v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadedIndexAcceptsInserts(t *testing.T) {
+	data := randomUnitVectors(67, 100, 8)
+	orig, _ := Build(data, Config{M: 8, EfConstruction: 32, Seed: 67})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := randomUnitVectors(68, 1, 8)[0]
+	id, err := loaded.Insert(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 100 {
+		t.Errorf("id = %d", id)
+	}
+	res, err := loaded.Search(nv, 1, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 100 {
+		t.Errorf("new vector not findable: %v", res)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTANIDX........................"),
+		"truncated": append([]byte("EJHNSW01"), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptAdjacency(t *testing.T) {
+	data := randomUnitVectors(71, 50, 4)
+	orig, _ := Build(data, Config{M: 4, EfConstruction: 16, Seed: 71})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip bytes near the end (adjacency region) to an absurd id.
+	for i := len(raw) - 8; i < len(raw); i++ {
+		raw[i] = 0xff
+	}
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("expected corrupt-adjacency error")
+	}
+}
+
+func TestSaveLoadEmptyInsertPath(t *testing.T) {
+	ix, _ := New(4, Config{M: 4, EfConstruction: 8, Seed: 3})
+	_, _ = ix.Insert([]float32{1, 0, 0, 0})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Search([]float32{1, 0, 0, 0}, 1, SearchOptions{})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

@@ -1,0 +1,202 @@
+package hnsw
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+// SearchOptions tunes a probe.
+type SearchOptions struct {
+	// Ef is the beam width for this probe; <=0 uses the index default.
+	// Recall grows with Ef at the price of more traversal.
+	Ef int
+	// Filter restricts the result set to rows whose bit is set, with
+	// vector-database pre-filter semantics: excluded nodes are still
+	// traversed (and paid for) but never returned.
+	Filter *relational.Bitmap
+}
+
+// Search returns the (approximately) k most similar indexed vectors to q,
+// sorted by descending similarity. Top-k must be specified — the
+// index-join flexibility limitation Table I records.
+func (ix *Index) Search(q []float32, k int, opts SearchOptions) ([]Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), ix.dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("hnsw: k must be positive")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.entry < 0 {
+		return nil, nil
+	}
+	ef := opts.Ef
+	if ef <= 0 {
+		ef = ix.cfg.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	nq := make([]float32, ix.dim)
+	vec.NormalizeInto(nq, q)
+
+	ep := ix.entry
+	for l := ix.maxLvl; l >= 1; l-- {
+		ep = ix.greedyClosest(nq, ep, l)
+	}
+	res := ix.searchLayer(nq, []int{ep}, ef, 0, opts.Filter)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// RangeSearch returns every indexed vector with similarity >= minSim,
+// sorted descending. HNSW has no native range probe; like vector databases,
+// it emulates one by widening top-k probes until the beam's worst result
+// falls below the threshold (or the beam covers the index). This is why the
+// paper finds range conditions hostile to index joins (Figure 17).
+func (ix *Index) RangeSearch(q []float32, minSim float32, opts SearchOptions) ([]Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), ix.dim)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.entry < 0 {
+		return nil, nil
+	}
+	ef := opts.Ef
+	if ef <= 0 {
+		ef = ix.cfg.EfSearch
+	}
+	nq := make([]float32, ix.dim)
+	vec.NormalizeInto(nq, q)
+
+	n := ix.Len()
+	for {
+		ep := ix.entry
+		for l := ix.maxLvl; l >= 1; l-- {
+			ep = ix.greedyClosest(nq, ep, l)
+		}
+		res := ix.searchLayer(nq, []int{ep}, ef, 0, opts.Filter)
+		// The beam is saturated if its worst member still qualifies; then a
+		// wider beam could hold more qualifying vectors — double and retry.
+		saturated := len(res) == ef && res[len(res)-1].Sim >= minSim
+		if !saturated || ef >= n {
+			out := res[:0]
+			for _, r := range res {
+				if r.Sim >= minSim {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}
+		ef *= 2
+		if ef > n {
+			ef = n
+		}
+	}
+}
+
+// BatchSearch probes the index with every query in parallel, the paper's
+// "batching many search queries is equivalent to a join" formulation.
+// threads <= 0 uses GOMAXPROCS.
+func (ix *Index) BatchSearch(queries [][]float32, k int, threads int, opts SearchOptions) ([][]Result, error) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]Result, len(queries))
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				res, err := ix.Search(queries[i], k, opts)
+				if err != nil {
+					errs[worker] = fmt.Errorf("hnsw: query %d: %w", i, err)
+					continue
+				}
+				out[i] = res
+			}
+		}(w)
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Recall computes recall@k of the index against exact exhaustive top-k over
+// the same data for the given queries — the accuracy axis of Table I.
+func Recall(ix *Index, data [][]float32, queries [][]float32, k int, opts SearchOptions) (float64, error) {
+	if len(queries) == 0 {
+		return 0, errors.New("hnsw: no queries")
+	}
+	var hit, total int
+	for _, q := range queries {
+		nq := vec.Clone(q)
+		vec.Normalize(nq)
+		exact := exactTopK(data, nq, k)
+		approx, err := ix.Search(q, k, opts)
+		if err != nil {
+			return 0, err
+		}
+		got := map[int]bool{}
+		for _, r := range approx {
+			got[r.ID] = true
+		}
+		for _, id := range exact {
+			if got[id] {
+				hit++
+			}
+			total++
+		}
+	}
+	return float64(hit) / float64(total), nil
+}
+
+func exactTopK(data [][]float32, nq []float32, k int) []int {
+	type scored struct {
+		id  int
+		sim float32
+	}
+	best := make([]scored, 0, k+1)
+	for i, v := range data {
+		nv := vec.Clone(v)
+		vec.Normalize(nv)
+		s := vec.Dot(vec.KernelSIMD, nq, nv)
+		pos := len(best)
+		for pos > 0 && best[pos-1].sim < s {
+			pos--
+		}
+		if pos < k {
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{id: i, sim: s}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	ids := make([]int, len(best))
+	for i, b := range best {
+		ids[i] = b.id
+	}
+	return ids
+}

@@ -1,0 +1,202 @@
+// Package lsh implements a random-hyperplane (SimHash) locality-sensitive
+// hashing similarity join — the approximate baseline the paper positions
+// the E-join against (Sections IV-A and VII: "hash-based approaches would
+// yield approximate solutions similar to locality-sensitive hashing").
+//
+// The joiner hashes every vector into nBands band signatures of
+// bitsPerBand hyperplane sign bits each; two vectors become join
+// candidates if any band collides, and candidates are verified exactly
+// with the cosine threshold. Compared to the exact tensor join it trades
+// recall for a (potentially large) reduction in verified pairs — the
+// trade-off the evaluation quantifies.
+package lsh
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/mat"
+	"ejoin/internal/vec"
+)
+
+// Params configures the hash family.
+type Params struct {
+	// Bands is the number of independent hash bands (OR-amplification:
+	// more bands, higher recall, more candidates).
+	Bands int
+	// BitsPerBand is the number of hyperplanes per band
+	// (AND-amplification: more bits, fewer candidates, lower recall).
+	BitsPerBand int
+	// Seed makes the hyperplane family deterministic.
+	Seed int64
+}
+
+// DefaultParams suits unit-norm embeddings with thresholds around 0.7-0.9.
+func DefaultParams() Params {
+	return Params{Bands: 8, BitsPerBand: 12, Seed: 42}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Bands <= 0 {
+		return fmt.Errorf("lsh: Bands must be positive, got %d", p.Bands)
+	}
+	if p.BitsPerBand <= 0 || p.BitsPerBand > 32 {
+		return fmt.Errorf("lsh: BitsPerBand must be in [1,32], got %d", p.BitsPerBand)
+	}
+	return nil
+}
+
+// Joiner holds the hyperplane family for one dimensionality.
+type Joiner struct {
+	params Params
+	dim    int
+	// planes is bands*bitsPerBand hyperplane normals, row-major.
+	planes *mat.Matrix
+}
+
+// NewJoiner draws the hash family.
+func NewJoiner(dim int, p Params) (*Joiner, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dimension must be positive, got %d", dim)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	planes := mat.New(p.Bands*p.BitsPerBand, dim)
+	for i := range planes.Data {
+		planes.Data[i] = float32(rng.NormFloat64())
+	}
+	planes.NormalizeRows()
+	return &Joiner{params: p, dim: dim, planes: planes}, nil
+}
+
+// Signatures returns the per-band hash codes of v.
+func (j *Joiner) Signatures(v []float32) ([]uint32, error) {
+	if len(v) != j.dim {
+		return nil, fmt.Errorf("lsh: vector dim %d, joiner dim %d", len(v), j.dim)
+	}
+	sigs := make([]uint32, j.params.Bands)
+	for b := 0; b < j.params.Bands; b++ {
+		var code uint32
+		for bit := 0; bit < j.params.BitsPerBand; bit++ {
+			plane := j.planes.Row(b*j.params.BitsPerBand + bit)
+			if vec.Dot(vec.KernelSIMD, v, plane) >= 0 {
+				code |= 1 << uint(bit)
+			}
+		}
+		sigs[b] = code
+	}
+	return sigs, nil
+}
+
+// bandKey disambiguates codes across bands in one map.
+type bandKey struct {
+	band int
+	code uint32
+}
+
+// Stats reports the work an LSH join did.
+type Stats struct {
+	// CandidatePairs is the number of pairs that collided in >=1 band
+	// (deduplicated) and were verified exactly.
+	CandidatePairs int64
+	// ExactPairs is |L|*|R|, the comparisons an exhaustive join would do.
+	ExactPairs int64
+	// BuildTime covers hashing both inputs.
+	BuildTime time.Duration
+	// VerifyTime covers exact verification of candidates.
+	VerifyTime time.Duration
+}
+
+// Join returns the approximate threshold join of the two unit-norm
+// embedding matrices: candidate pairs from band collisions, verified with
+// exact cosine similarity >= threshold.
+func (j *Joiner) Join(ctx context.Context, left, right *mat.Matrix, threshold float32) ([]core.Match, Stats, error) {
+	var stats Stats
+	if left.Cols() != j.dim || right.Cols() != j.dim {
+		return nil, stats, fmt.Errorf("lsh: inputs are %d/%d-D, joiner is %d-D", left.Cols(), right.Cols(), j.dim)
+	}
+	stats.ExactPairs = int64(left.Rows()) * int64(right.Rows())
+
+	buildStart := time.Now()
+	// Bucket the right input by (band, code).
+	buckets := make(map[bandKey][]int)
+	for i := 0; i < right.Rows(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("lsh: cancelled while hashing right input: %w", err)
+		}
+		sigs, err := j.Signatures(right.Row(i))
+		if err != nil {
+			return nil, stats, err
+		}
+		for b, code := range sigs {
+			k := bandKey{band: b, code: code}
+			buckets[k] = append(buckets[k], i)
+		}
+	}
+	stats.BuildTime = time.Since(buildStart)
+
+	verifyStart := time.Now()
+	var matches []core.Match
+	seen := make(map[int]bool)
+	for i := 0; i < left.Rows(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("lsh: cancelled while probing: %w", err)
+		}
+		sigs, err := j.Signatures(left.Row(i))
+		if err != nil {
+			return nil, stats, err
+		}
+		clear(seen)
+		li := left.Row(i)
+		for b, code := range sigs {
+			for _, r := range buckets[bandKey{band: b, code: code}] {
+				if seen[r] {
+					continue
+				}
+				seen[r] = true
+				stats.CandidatePairs++
+				if sim := vec.Dot(vec.KernelSIMD, li, right.Row(r)); sim >= threshold {
+					matches = append(matches, core.Match{Left: i, Right: r, Sim: sim})
+				}
+			}
+		}
+	}
+	stats.VerifyTime = time.Since(verifyStart)
+	sortByLeftRight(matches)
+	return matches, stats, nil
+}
+
+func sortByLeftRight(ms []core.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Left != ms[j].Left {
+			return ms[i].Left < ms[j].Left
+		}
+		return ms[i].Right < ms[j].Right
+	})
+}
+
+// Recall measures the fraction of exact matches (tensor join at the same
+// threshold) the LSH join recovered.
+func Recall(approx, exact []core.Match) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	got := make(map[[2]int]bool, len(approx))
+	for _, m := range approx {
+		got[[2]int{m.Left, m.Right}] = true
+	}
+	hits := 0
+	for _, m := range exact {
+		if got[[2]int{m.Left, m.Right}] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}

@@ -1,0 +1,214 @@
+package lsh
+
+import (
+	"context"
+	"testing"
+
+	"ejoin/internal/core"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Bands: 0, BitsPerBand: 8},
+		{Bands: 4, BitsPerBand: 0},
+		{Bands: 4, BitsPerBand: 33},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("expected error for %+v", p)
+		}
+	}
+}
+
+func TestNewJoinerValidation(t *testing.T) {
+	if _, err := NewJoiner(0, DefaultParams()); err == nil {
+		t.Error("expected dim error")
+	}
+	if _, err := NewJoiner(8, Params{Bands: 0, BitsPerBand: 1}); err == nil {
+		t.Error("expected params error")
+	}
+}
+
+func TestSignaturesDeterministic(t *testing.T) {
+	j, err := NewJoiner(16, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := workload.Vectors(1, 1, 16).Row(0)
+	a, err := j.Signatures(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := j.Signatures(v)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signatures not deterministic")
+		}
+	}
+	if len(a) != DefaultParams().Bands {
+		t.Errorf("bands = %d", len(a))
+	}
+	if _, err := j.Signatures(make([]float32, 3)); err == nil {
+		t.Error("expected dim error")
+	}
+}
+
+// TestLSHLocality: identical vectors share all band codes; near vectors
+// share more codes than far vectors.
+func TestLSHLocality(t *testing.T) {
+	j, _ := NewJoiner(32, Params{Bands: 16, BitsPerBand: 8, Seed: 1})
+	base := workload.Vectors(3, 1, 32).Row(0)
+	near := append([]float32{}, base...)
+	near[0] += 0.05
+	vec.Normalize(near)
+	far := workload.Vectors(4, 1, 32).Row(0)
+
+	sb, _ := j.Signatures(base)
+	sn, _ := j.Signatures(near)
+	sf, _ := j.Signatures(far)
+	same := func(a, b []uint32) int {
+		c := 0
+		for i := range a {
+			if a[i] == b[i] {
+				c++
+			}
+		}
+		return c
+	}
+	if same(sb, sn) <= same(sb, sf) {
+		t.Errorf("near collisions %d should exceed far %d", same(sb, sn), same(sb, sf))
+	}
+	if same(sb, sb) != 16 {
+		t.Error("self collision should be total")
+	}
+}
+
+func TestJoinFindsPlantedPairs(t *testing.T) {
+	// Clustered data: members of the same tight cluster must be found.
+	left := workload.CorrelatedVectors(5, 60, 32, 6, 0.02)
+	right := workload.CorrelatedVectors(5, 60, 32, 6, 0.02) // same seed: same centers
+	j, _ := NewJoiner(32, Params{Bands: 16, BitsPerBand: 8, Seed: 2})
+	ctx := context.Background()
+
+	approx, stats, err := j.Join(ctx, left, right, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.TensorJoin(ctx, left, right, 0.95, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Matches) == 0 {
+		t.Fatal("test workload produced no exact matches")
+	}
+	r := Recall(approx, exact.Matches)
+	if r < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9 (got %d of %d)", r, len(approx), len(exact.Matches))
+	}
+	// All approx matches must be true matches (verification is exact).
+	exactSet := map[[2]int]bool{}
+	for _, m := range exact.Matches {
+		exactSet[[2]int{m.Left, m.Right}] = true
+	}
+	for _, m := range approx {
+		if !exactSet[[2]int{m.Left, m.Right}] {
+			t.Errorf("false positive %+v", m)
+		}
+		if m.Sim < 0.95 {
+			t.Errorf("below threshold: %+v", m)
+		}
+	}
+	// And it must do less work than the exhaustive join.
+	if stats.CandidatePairs >= stats.ExactPairs {
+		t.Errorf("no pruning: %d candidates of %d pairs", stats.CandidatePairs, stats.ExactPairs)
+	}
+}
+
+func TestJoinPrunesUnrelated(t *testing.T) {
+	// Random (near-orthogonal) inputs: almost nothing collides, so the
+	// candidate count must be far below the cross product.
+	left := workload.Vectors(7, 100, 64)
+	right := workload.Vectors(8, 100, 64)
+	j, _ := NewJoiner(64, Params{Bands: 8, BitsPerBand: 16, Seed: 3})
+	_, stats, err := j.Join(context.Background(), left, right, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CandidatePairs > stats.ExactPairs/4 {
+		t.Errorf("weak pruning: %d of %d", stats.CandidatePairs, stats.ExactPairs)
+	}
+}
+
+func TestJoinSortedOutput(t *testing.T) {
+	left := workload.CorrelatedVectors(9, 40, 16, 4, 0.05)
+	right := workload.CorrelatedVectors(9, 40, 16, 4, 0.05)
+	j, _ := NewJoiner(16, Params{Bands: 12, BitsPerBand: 6, Seed: 4})
+	matches, _, err := j.Join(context.Background(), left, right, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(matches); i++ {
+		a, b := matches[i-1], matches[i]
+		if a.Left > b.Left || (a.Left == b.Left && a.Right >= b.Right) {
+			t.Fatalf("not sorted at %d: %v %v", i, a, b)
+		}
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	j, _ := NewJoiner(16, DefaultParams())
+	bad := workload.Vectors(1, 4, 8)
+	ok := workload.Vectors(2, 4, 16)
+	if _, _, err := j.Join(context.Background(), bad, ok, 0.5); err == nil {
+		t.Error("expected dim error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := j.Join(ctx, ok, ok, 0.5); err == nil {
+		t.Error("expected cancellation")
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if Recall(nil, nil) != 1 {
+		t.Error("empty exact set should be recall 1")
+	}
+	exact := []core.Match{{Left: 1, Right: 2}}
+	if Recall(nil, exact) != 0 {
+		t.Error("no approx matches should be recall 0")
+	}
+	if Recall(exact, exact) != 1 {
+		t.Error("identical sets should be recall 1")
+	}
+}
+
+// TestBandsRecallTradeoff: more bands (OR amplification) must not lower
+// recall on the same workload.
+func TestBandsRecallTradeoff(t *testing.T) {
+	left := workload.CorrelatedVectors(11, 50, 32, 8, 0.05)
+	right := workload.CorrelatedVectors(11, 50, 32, 8, 0.05)
+	ctx := context.Background()
+	exact, err := core.TensorJoin(ctx, left, right, 0.9, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, _ := NewJoiner(32, Params{Bands: 2, BitsPerBand: 10, Seed: 5})
+	many, _ := NewJoiner(32, Params{Bands: 24, BitsPerBand: 10, Seed: 5})
+	fewM, _, err := few.Join(ctx, left, right, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manyM, _, err := many.Join(ctx, left, right, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Recall(manyM, exact.Matches) < Recall(fewM, exact.Matches) {
+		t.Errorf("more bands lowered recall: %v < %v",
+			Recall(manyM, exact.Matches), Recall(fewM, exact.Matches))
+	}
+}

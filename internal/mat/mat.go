@@ -1,0 +1,129 @@
+// Package mat implements the dense linear algebra substrate used by the
+// tensor join formulation (paper Section IV-C / V): row-major float32
+// matrices and a cache-blocked, parallel similarity GEMM computing
+// D = R · Sᵀ block-wise per the Block Matrix Dot Product Decomposition.
+//
+// The paper uses Intel oneAPI MKL for this role; this package is the
+// stdlib-only substitute. It implements the same structural optimizations
+// that make BLAS fast on this shape: tuple-boundary blocking so a block of
+// S rows stays cache-resident while being reused against a block of R rows,
+// unrolled inner kernels, and data-parallel execution across row panels.
+package mat
+
+import (
+	"fmt"
+
+	"ejoin/internal/vec"
+)
+
+// Matrix is a dense row-major float32 matrix. Each row typically holds one
+// embedding vector, so Rows is the relation cardinality and Cols the
+// embedding dimensionality.
+type Matrix struct {
+	RowsN int
+	ColsN int
+	Data  []float32 // len == RowsN*ColsN, row-major
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{RowsN: rows, ColsN: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix whose rows are copies of the given equal-length
+// vectors. It returns an error if rows have inconsistent lengths.
+func FromRows(rows [][]float32) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	d := len(rows[0])
+	m := New(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("mat: row %d has dim %d, want %d", i, len(r), d)
+		}
+		copy(m.Data[i*d:(i+1)*d], r)
+	}
+	return m, nil
+}
+
+// FromFlat wraps an existing row-major backing slice without copying.
+func FromFlat(rows, cols int, data []float32) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("mat: flat data len %d != %d*%d", len(data), rows, cols)
+	}
+	return &Matrix{RowsN: rows, ColsN: cols, Data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.RowsN }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.ColsN }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.ColsN : (i+1)*m.ColsN : (i+1)*m.ColsN]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.ColsN+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.ColsN+j] = v }
+
+// Slice returns a view of rows [lo, hi) sharing storage with m.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.RowsN || lo > hi {
+		panic(fmt.Sprintf("mat: slice [%d,%d) out of range (rows=%d)", lo, hi, m.RowsN))
+	}
+	return &Matrix{RowsN: hi - lo, ColsN: m.ColsN, Data: m.Data[lo*m.ColsN : hi*m.ColsN]}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.RowsN, m.ColsN)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// NormalizeRows scales every row to unit L2 norm in place (zero rows are
+// left untouched). After normalization, cosine similarity of rows reduces to
+// the dot product, which is what lets the join run as a plain GEMM.
+func (m *Matrix) NormalizeRows() {
+	for i := 0; i < m.RowsN; i++ {
+		vec.Normalize(m.Row(i))
+	}
+}
+
+// RowsNormalized reports whether every row is unit-norm within eps
+// (zero rows excluded).
+func (m *Matrix) RowsNormalized(eps float32) bool {
+	for i := 0; i < m.RowsN; i++ {
+		r := m.Row(i)
+		if vec.Norm(r) == 0 {
+			continue
+		}
+		if !vec.IsNormalized(r, eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the backing storage size in bytes (4 bytes per FP32),
+// the unit used by the memory-budget computations of Section V-B.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(len(m.Data)) * 4
+}
+
+// Equal reports element-wise equality within eps.
+func Equal(a, b *Matrix, eps float32) bool {
+	if a.RowsN != b.RowsN || a.ColsN != b.ColsN {
+		return false
+	}
+	return vec.Equal(a.Data, b.Data, eps)
+}

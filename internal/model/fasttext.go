@@ -1,0 +1,247 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ejoin/internal/vec"
+)
+
+// HashEmbedder is the deterministic FastText stand-in. It embeds a word as
+// the normalized average of pseudo-random unit vectors derived from:
+//
+//   - the word token itself,
+//   - its character n-grams with boundary markers (as FastText does), so
+//     misspellings, plural forms, and shared stems produce nearby vectors,
+//   - optionally, a synonym-cluster vector shared by all members of a
+//     cluster (standing in for learned semantics: "bbq" and "barbecue"
+//     share no n-grams but the paper's trained model maps them together).
+//
+// Embeddings are deterministic functions of (seed, word, clusters): the same
+// inputs always produce the same vectors, mirroring the paper's fixed RNG
+// seed reproducibility requirement.
+type HashEmbedder struct {
+	dim        int
+	seed       uint64
+	minN, maxN int
+	// clusterOf maps a lower-cased word to its synonym-cluster label.
+	clusterOf map[string]string
+	// clusterWeight balances surface-form vs semantic components.
+	clusterWeight float32
+
+	mu    sync.RWMutex
+	cache map[string][]float32
+}
+
+// HashEmbedderOption configures a HashEmbedder.
+type HashEmbedderOption func(*HashEmbedder)
+
+// WithSeed sets the hash seed (default 42).
+func WithSeed(seed uint64) HashEmbedderOption {
+	return func(h *HashEmbedder) { h.seed = seed }
+}
+
+// WithNGramRange sets the subword n-gram sizes (defaults 3..5, FastText's
+// defaults for its subword model).
+func WithNGramRange(minN, maxN int) HashEmbedderOption {
+	return func(h *HashEmbedder) { h.minN, h.maxN = minN, maxN }
+}
+
+// WithSynonyms declares synonym clusters: every word in one cluster receives
+// a shared semantic component. The map is cluster label -> member words.
+func WithSynonyms(clusters map[string][]string) HashEmbedderOption {
+	return func(h *HashEmbedder) {
+		for label, words := range clusters {
+			for _, w := range words {
+				h.clusterOf[normalizeWord(w)] = label
+			}
+		}
+	}
+}
+
+// WithClusterWeight sets the relative weight of the synonym-cluster
+// component (default 2.0; higher means cluster members are more similar).
+func WithClusterWeight(w float32) HashEmbedderOption {
+	return func(h *HashEmbedder) { h.clusterWeight = w }
+}
+
+// WithCache enables memoization of embeddings, modeling the paper's
+// "Option 1: precomputed/cached vector embeddings" (Figure 5).
+func WithCache() HashEmbedderOption {
+	return func(h *HashEmbedder) { h.cache = make(map[string][]float32) }
+}
+
+// NewHashEmbedder creates a dim-dimensional embedder.
+func NewHashEmbedder(dim int, opts ...HashEmbedderOption) (*HashEmbedder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("model: dimension must be positive, got %d", dim)
+	}
+	h := &HashEmbedder{
+		dim:           dim,
+		seed:          42,
+		minN:          3,
+		maxN:          5,
+		clusterOf:     make(map[string]string),
+		clusterWeight: 2.0,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.minN < 1 || h.maxN < h.minN {
+		return nil, fmt.Errorf("model: invalid n-gram range [%d,%d]", h.minN, h.maxN)
+	}
+	return h, nil
+}
+
+// Dim implements Model.
+func (h *HashEmbedder) Dim() int { return h.dim }
+
+// Name implements Model.
+func (h *HashEmbedder) Name() string {
+	return fmt.Sprintf("hash-ngram-%dd", h.dim)
+}
+
+// Embed implements Model. Multi-token inputs embed as the normalized mean of
+// per-token embeddings (bag of words), matching how word-embedding models
+// are applied to short phrases.
+func (h *HashEmbedder) Embed(input string) ([]float32, error) {
+	if strings.TrimSpace(input) == "" {
+		return nil, ErrEmptyInput
+	}
+	if h.cache != nil {
+		h.mu.RLock()
+		if e, ok := h.cache[input]; ok {
+			h.mu.RUnlock()
+			return vec.Clone(e), nil
+		}
+		h.mu.RUnlock()
+	}
+
+	out := make([]float32, h.dim)
+	tokens := strings.Fields(input)
+	for _, tok := range tokens {
+		h.embedToken(normalizeWord(tok), out)
+	}
+	vec.Normalize(out)
+
+	if h.cache != nil {
+		h.mu.Lock()
+		h.cache[input] = vec.Clone(out)
+		h.mu.Unlock()
+	}
+	return out, nil
+}
+
+// embedToken accumulates the token's components into acc.
+func (h *HashEmbedder) embedToken(tok string, acc []float32) {
+	// Whole-word component.
+	h.addHashed(acc, hash64(h.seed, "word:"+tok), 1)
+	// Subword n-gram components with boundary markers.
+	marked := "<" + tok + ">"
+	runes := []rune(marked)
+	count := 1
+	for n := h.minN; n <= h.maxN; n++ {
+		if n > len(runes) {
+			break
+		}
+		for i := 0; i+n <= len(runes); i++ {
+			h.addHashed(acc, hash64(h.seed, "ng:"+string(runes[i:i+n])), 1)
+			count++
+		}
+	}
+	// Synonym-cluster component, weighted against the surface components so
+	// cluster members end up close regardless of spelling.
+	if label, ok := h.clusterOf[tok]; ok {
+		w := h.clusterWeight * float32(count)
+		h.addHashed(acc, hash64(h.seed, "cluster:"+label), w)
+	}
+}
+
+// addHashed adds w * (pseudo-random unit-scale vector derived from key) to acc.
+func (h *HashEmbedder) addHashed(acc []float32, key uint64, w float32) {
+	state := key
+	for j := 0; j < h.dim; j++ {
+		state = splitmix64(state)
+		// Map to approximately N(0,1) via sum of two uniforms minus 1
+		// (cheap, deterministic, symmetric around zero).
+		u1 := float64(state>>11) / (1 << 53)
+		state = splitmix64(state)
+		u2 := float64(state>>11) / (1 << 53)
+		acc[j] += w * float32(u1+u2-1)
+	}
+}
+
+// hash64 is FNV-1a over seed and s.
+func hash64(seed uint64, s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	v := uint64(offset) ^ seed
+	for i := 0; i < len(s); i++ {
+		v ^= uint64(s[i])
+		v *= prime
+	}
+	if v == 0 {
+		v = offset
+	}
+	return v
+}
+
+// splitmix64 is the SplitMix64 mixer, a high-quality deterministic stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// normalizeWord lower-cases and trims punctuation commonly attached to
+// tokens; the model, not the engine, owns this context handling.
+func normalizeWord(w string) string {
+	return strings.Trim(strings.ToLower(w), ".,;:!?\"'()[]{}")
+}
+
+// RandomEmbedder embeds any input as a deterministic pseudo-random unit
+// vector with no subword structure: two distinct inputs are near-orthogonal
+// in expectation. It models embedding modalities where we only care about
+// the vectors, not string semantics (e.g. the synthetic-vector experiments,
+// Figures 8-17), while keeping the Model interface uniform.
+type RandomEmbedder struct {
+	dim  int
+	seed uint64
+}
+
+// NewRandomEmbedder creates a RandomEmbedder of the given dimensionality.
+func NewRandomEmbedder(dim int, seed uint64) (*RandomEmbedder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("model: dimension must be positive, got %d", dim)
+	}
+	return &RandomEmbedder{dim: dim, seed: seed}, nil
+}
+
+// Dim implements Model.
+func (r *RandomEmbedder) Dim() int { return r.dim }
+
+// Name implements Model.
+func (r *RandomEmbedder) Name() string { return fmt.Sprintf("random-%dd", r.dim) }
+
+// Embed implements Model.
+func (r *RandomEmbedder) Embed(input string) ([]float32, error) {
+	if input == "" {
+		return nil, ErrEmptyInput
+	}
+	out := make([]float32, r.dim)
+	state := hash64(r.seed, input)
+	for j := 0; j < r.dim; j++ {
+		state = splitmix64(state)
+		u1 := float64(state>>11) / (1 << 53)
+		state = splitmix64(state)
+		u2 := float64(state>>11) / (1 << 53)
+		out[j] = float32(u1 + u2 - 1)
+	}
+	vec.Normalize(out)
+	return out, nil
+}

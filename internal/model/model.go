@@ -1,0 +1,69 @@
+// Package model implements the embedding-model substrate (the µ of the
+// paper): the Model interface an embedding operator E_µ is parametrized
+// with, a FastText-like subword hashing embedder, the lookup-table decoder
+// standing in for E⁻¹, and wrappers used to study model-operator
+// interaction (call counting, injected latency, caching, failure
+// injection).
+//
+// The paper trains a 100-D FastText model on Wikipedia. FastText's
+// properties that the evaluation relies on — misspellings/plural forms land
+// near the source word because they share subword n-grams, out-of-vocabulary
+// words still embed, and a learned notion of synonymy — are reproduced here
+// without training data: shared n-grams fall out of deterministic n-gram
+// hashing, and synonymy is injected through an explicit cluster table (see
+// HashEmbedder). From the operator's perspective nothing changes: a model
+// maps strings to unit-norm vectors, exactly the separation of concerns the
+// paper formalizes.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"ejoin/internal/vec"
+)
+
+// Model is the embedding model µ: it maps a context-rich input (here a
+// string) into the d-dimensional vector space. Implementations must be safe
+// for concurrent use; operators embed in parallel.
+type Model interface {
+	// Embed maps input to its embedding. The returned slice is owned by the
+	// caller. Embeddings are unit-norm unless documented otherwise.
+	Embed(input string) ([]float32, error)
+	// Dim is the embedding dimensionality d.
+	Dim() int
+	// Name identifies the model in plans and experiment output.
+	Name() string
+}
+
+// ErrEmptyInput is returned when a model is asked to embed an empty string.
+var ErrEmptyInput = errors.New("model: empty input")
+
+// EmbedAll embeds every input sequentially and returns the row vectors.
+// It is the building block of the prefetch optimization: the operator calls
+// it once per relation instead of once per joined pair.
+func EmbedAll(m Model, inputs []string) ([][]float32, error) {
+	out := make([][]float32, len(inputs))
+	for i, s := range inputs {
+		e, err := m.Embed(s)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: embedding input %d: %w", m.Name(), i, err)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Similarity returns the cosine similarity of the embeddings of a and b
+// under m — the user-facing semantic-similarity primitive.
+func Similarity(m Model, a, b string) (float32, error) {
+	va, err := m.Embed(a)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := m.Embed(b)
+	if err != nil {
+		return 0, err
+	}
+	return vec.Cosine(vec.KernelSIMD, va, vb), nil
+}

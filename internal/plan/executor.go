@@ -1,0 +1,418 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/cost"
+	"ejoin/internal/hnsw"
+	"ejoin/internal/mat"
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+// Executor runs logical plans using the physical operators of package core.
+type Executor struct {
+	// Options tunes the physical operators (kernel, threads, memory budget).
+	Options core.Options
+	// IndexEf overrides probe beam width for index joins.
+	IndexEf int
+}
+
+// ExecResult is the output of executing a join plan. Matches carry global
+// row ids into the original (pre-filter) left and right tables, in the
+// query's original orientation even if the optimizer swapped inputs.
+type ExecResult struct {
+	Matches  []core.Match
+	Stats    core.Stats
+	Strategy cost.Strategy
+	// LeftRows/RightRows are the selections that survived relational
+	// predicates (original orientation).
+	LeftRows  relational.Selection
+	RightRows relational.Selection
+}
+
+// evaluatedInput is one join input after scan/filter/embed evaluation.
+type evaluatedInput struct {
+	ref        TableRef
+	rows       relational.Selection // surviving global row ids
+	embeddings *mat.Matrix          // one row per entry of rows
+	modelCalls int64
+	embedTime  time.Duration
+}
+
+// Execute runs the plan. The plan's structure is executed faithfully: for
+// the naive strategy, Embed nodes are not pre-evaluated — the join embeds
+// per compared pair, paying the quadratic model cost the cost model
+// predicts, which is how the experiments quantify what the rewrites buy.
+func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) {
+	evalEmbeds := j.Strategy != cost.StrategyNaiveNLJ
+	left, err := ex.evalInput(ctx, j.Left, evalEmbeds)
+	if err != nil {
+		return nil, fmt.Errorf("plan: evaluating left input: %w", err)
+	}
+	right, err := ex.evalInput(ctx, j.Right, evalEmbeds)
+	if err != nil {
+		return nil, fmt.Errorf("plan: evaluating right input: %w", err)
+	}
+
+	res, err := ex.join(ctx, j, left, right)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ModelCalls += left.modelCalls + right.modelCalls
+	res.Stats.EmbedTime += left.embedTime + right.embedTime
+
+	if j.Swapped {
+		for i, m := range res.Matches {
+			res.Matches[i] = core.Match{Left: m.Right, Right: m.Left, Sim: m.Sim}
+		}
+		res.LeftRows, res.RightRows = res.RightRows, res.LeftRows
+	}
+	return res, nil
+}
+
+// evalInput walks a Scan/Filter/Embed subtree in its written order.
+// evalEmbeds=false skips Embed nodes (naive strategy: the join operator
+// itself invokes the model per pair).
+func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*evaluatedInput, error) {
+	switch t := n.(type) {
+	case *Scan:
+		out := &evaluatedInput{ref: t.Ref, rows: relational.All(t.Ref.Table.NumRows())}
+		if t.Ref.VectorColumn != "" {
+			vc, err := t.Ref.Table.Vectors(t.Ref.VectorColumn)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mat.FromFlat(vc.Len(), vc.Dim, vc.Data)
+			if err != nil {
+				return nil, err
+			}
+			m = m.Clone() // never mutate stored columns
+			m.NormalizeRows()
+			out.embeddings = m
+		}
+		return out, nil
+
+	case *Filter:
+		in, err := ex.evalInput(ctx, t.Input, evalEmbeds)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := relational.And(in.ref.Table, t.Preds...)
+		if err != nil {
+			return nil, err
+		}
+		keep := relational.BitmapFromSelection(in.ref.Table.NumRows(), sel)
+		var rows relational.Selection
+		var kept []int // positions within in.rows that survive
+		for pos, r := range in.rows {
+			if keep.Get(r) {
+				rows = append(rows, r)
+				kept = append(kept, pos)
+			}
+		}
+		out := &evaluatedInput{
+			ref:        in.ref,
+			rows:       rows,
+			modelCalls: in.modelCalls,
+			embedTime:  in.embedTime,
+		}
+		if in.embeddings != nil {
+			g := mat.New(len(kept), in.embeddings.Cols())
+			for i, pos := range kept {
+				copy(g.Row(i), in.embeddings.Row(pos))
+			}
+			out.embeddings = g
+		}
+		return out, nil
+
+	case *Embed:
+		in, err := ex.evalInput(ctx, t.Input, evalEmbeds)
+		if err != nil {
+			return nil, err
+		}
+		if !evalEmbeds || in.embeddings != nil {
+			return in, nil // naive strategy, or already embedded (vector column)
+		}
+		col, err := in.ref.Table.Strings(t.Column)
+		if err != nil {
+			return nil, err
+		}
+		texts := make([]string, len(in.rows))
+		for i, r := range in.rows {
+			texts[i] = col[r]
+		}
+		start := time.Now()
+		emb, err := core.EmbedParallel(ctx, t.Model, texts, ex.Options.Threads)
+		if err != nil {
+			return nil, err
+		}
+		in.embedTime += time.Since(start)
+		in.modelCalls += int64(len(texts))
+		in.embeddings = emb
+		return in, nil
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported input node %T", n)
+	}
+}
+
+// join dispatches to the physical strategy. Match offsets are remapped to
+// global row ids before returning.
+func (ex *Executor) join(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*ExecResult, error) {
+	out := &ExecResult{Strategy: j.Strategy, LeftRows: left.rows, RightRows: right.rows}
+
+	if j.Strategy == cost.StrategyNaiveNLJ {
+		res, err := ex.naiveJoin(ctx, j, left, right)
+		if err != nil {
+			return nil, err
+		}
+		out.Matches = res.Matches
+		out.Stats = res.Stats
+		return out, nil
+	}
+
+	if left.embeddings == nil || (right.embeddings == nil && j.Strategy != cost.StrategyIndex) {
+		return nil, fmt.Errorf("plan: strategy %v requires embedded inputs (missing Embed node?)", j.Strategy)
+	}
+
+	var res *core.Result
+	var err error
+	switch j.Strategy {
+	case cost.StrategyNLJ:
+		if j.Spec.Kind == TopKJoin {
+			res, err = core.TensorTopK(ctx, left.embeddings, right.embeddings, j.Spec.K, ex.Options)
+		} else {
+			res, err = core.NLJ(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+		}
+	case cost.StrategyTensor:
+		if j.Spec.Kind == TopKJoin {
+			res, err = core.TensorTopK(ctx, left.embeddings, right.embeddings, j.Spec.K, ex.Options)
+		} else {
+			res, err = core.TensorJoin(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+		}
+	case cost.StrategyIndex:
+		res, err = ex.indexJoin(ctx, j, left, right)
+		if err != nil {
+			return nil, err
+		}
+		// Index matches already carry global right ids.
+		for _, m := range res.Matches {
+			out.Matches = append(out.Matches, core.Match{Left: left.rows[m.Left], Right: m.Right, Sim: m.Sim})
+		}
+		out.Stats = res.Stats
+		return out, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported strategy %v", j.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Range condition over top-k: apply the residual threshold.
+	matches := res.Matches
+	if j.Spec.Kind == TopKJoin && j.Spec.Threshold > -1 {
+		filtered := matches[:0]
+		for _, m := range matches {
+			if m.Sim >= j.Spec.Threshold {
+				filtered = append(filtered, m)
+			}
+		}
+		matches = filtered
+	}
+	for _, m := range matches {
+		out.Matches = append(out.Matches, core.Match{Left: left.rows[m.Left], Right: right.rows[m.Right], Sim: m.Sim})
+	}
+	out.Stats = res.Stats
+	return out, nil
+}
+
+func (ex *Executor) indexJoin(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*core.Result, error) {
+	idx := right.ref.Index
+	if idx == nil {
+		// Build one on the fly over the full right table (the build cost
+		// the optimizer charged for).
+		if right.embeddings == nil {
+			return nil, fmt.Errorf("plan: index strategy without index or embeddings on %q", right.ref.Name)
+		}
+		built, err := core.BuildIndex(right.embeddings, hnsw.ConfigLo())
+		if err != nil {
+			return nil, err
+		}
+		// Embeddings rows are positions within right.rows; remap filter.
+		cond, opts := ex.indexCond(j), ex.Options
+		opts.RightFilter = nil
+		res, err := core.IndexJoin(ctx, left.embeddings, built, cond, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range res.Matches {
+			res.Matches[i] = core.Match{Left: m.Left, Right: right.rows[m.Right], Sim: m.Sim}
+		}
+		return res, nil
+	}
+	if idx.Len() != right.ref.Table.NumRows() {
+		return nil, fmt.Errorf("plan: index over %q has %d entries, table has %d rows",
+			right.ref.Name, idx.Len(), right.ref.Table.NumRows())
+	}
+	opts := ex.Options
+	opts.RightFilter = relational.BitmapFromSelection(right.ref.Table.NumRows(), right.rows)
+	return core.IndexJoinWith(ctx, left.embeddings, idx, ex.indexCond(j), opts)
+}
+
+func (ex *Executor) indexCond(j *EJoin) core.IndexJoinCondition {
+	cond := core.IndexJoinCondition{K: j.Spec.K, MinSim: -2, Ef: ex.IndexEf}
+	if j.Spec.Kind == ThresholdJoin {
+		// Range condition emulated by widened top-k probes (Figure 17).
+		cond.K = 32
+		cond.MinSim = j.Spec.Threshold
+	} else if j.Spec.Threshold > -1 {
+		cond.MinSim = j.Spec.Threshold
+	}
+	return cond
+}
+
+// naiveJoin executes the unoptimized per-pair-embedding join.
+func (ex *Executor) naiveJoin(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*core.Result, error) {
+	if j.Spec.Kind != ThresholdJoin {
+		return nil, fmt.Errorf("plan: naive strategy supports only threshold joins")
+	}
+	// With precomputed vectors there is no model to call per pair; the
+	// naive plan degenerates to the prefetched NLJ (embedding a remaining
+	// text side once).
+	if left.embeddings != nil || right.embeddings != nil {
+		if err := ex.ensureEmbedded(ctx, j.Left, left); err != nil {
+			return nil, err
+		}
+		if err := ex.ensureEmbedded(ctx, j.Right, right); err != nil {
+			return nil, err
+		}
+		res, err := core.NLJ(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+		if err != nil {
+			return nil, err
+		}
+		remapped := make([]core.Match, len(res.Matches))
+		for i, m := range res.Matches {
+			remapped[i] = core.Match{Left: left.rows[m.Left], Right: right.rows[m.Right], Sim: m.Sim}
+		}
+		res.Matches = remapped
+		return res, nil
+	}
+	mdl, lTexts, err := naiveTexts(j.Left, left)
+	if err != nil {
+		return nil, err
+	}
+	mdl2, rTexts, err := naiveTexts(j.Right, right)
+	if err != nil {
+		return nil, err
+	}
+	if mdl == nil {
+		mdl = mdl2
+	}
+	if mdl == nil {
+		return nil, fmt.Errorf("plan: naive join has no model")
+	}
+	res, err := core.NaiveNLJ(ctx, mdl, lTexts, rTexts, j.Spec.Threshold, ex.Options)
+	if err != nil {
+		return nil, err
+	}
+	remapped := make([]core.Match, len(res.Matches))
+	for i, m := range res.Matches {
+		remapped[i] = core.Match{Left: left.rows[m.Left], Right: right.rows[m.Right], Sim: m.Sim}
+	}
+	res.Matches = remapped
+	return res, nil
+}
+
+// ensureEmbedded embeds in's surviving texts when embeddings are missing.
+func (ex *Executor) ensureEmbedded(ctx context.Context, n Node, in *evaluatedInput) error {
+	if in.embeddings != nil {
+		return nil
+	}
+	mdl, texts, err := naiveTexts(n, in)
+	if err != nil {
+		return err
+	}
+	if mdl == nil {
+		return fmt.Errorf("plan: input %q has neither embeddings nor a model", in.ref.Name)
+	}
+	emb, err := core.Embed(ctx, mdl, texts)
+	if err != nil {
+		return err
+	}
+	in.embeddings = emb
+	in.modelCalls += int64(len(texts))
+	return nil
+}
+
+func naiveTexts(n Node, in *evaluatedInput) (model.Model, []string, error) {
+	var mdl model.Model
+	var column string
+	for cur := n; cur != nil; {
+		switch t := cur.(type) {
+		case *Embed:
+			mdl, column = t.Model, t.Column
+			cur = t.Input
+		case *Filter:
+			cur = t.Input
+		case *Scan:
+			cur = nil
+		default:
+			cur = nil
+		}
+	}
+	if column == "" {
+		column = in.ref.TextColumn
+	}
+	col, err := in.ref.Table.Strings(column)
+	if err != nil {
+		return nil, nil, err
+	}
+	texts := make([]string, len(in.rows))
+	for i, r := range in.rows {
+		texts[i] = col[r]
+	}
+	return mdl, texts, nil
+}
+
+// MaterializeResult builds the joined output table: left columns (l_),
+// right columns (r_), and a similarity column, one row per match.
+func MaterializeResult(q Query, res *ExecResult) (*relational.Table, error) {
+	pairs := make([]relational.Pair, len(res.Matches))
+	sims := make(relational.Float64Column, len(res.Matches))
+	for i, m := range res.Matches {
+		pairs[i] = relational.Pair{Left: m.Left, Right: m.Right}
+		sims[i] = float64(m.Sim)
+	}
+	joined, err := relational.MaterializeJoin(q.Left.Table, q.Right.Table, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return joined.WithColumn("similarity", sims)
+}
+
+// Run is the one-call path: build the naive plan, optimize, execute.
+func Run(ctx context.Context, q Query, ex *Executor, opt *Optimizer) (*ExecResult, *EJoin, error) {
+	naive, err := NewNaivePlan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt == nil {
+		opt = NewOptimizer()
+	}
+	optimized, err := opt.Optimize(naive)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ex == nil {
+		ex = &Executor{Options: core.Options{Kernel: vec.KernelSIMD}}
+	}
+	res, err := ex.Execute(ctx, optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, optimized, nil
+}

@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+)
+
+// SemanticPred is a similarity predicate over a context-rich column:
+// σ(sim(E_µ(column), E_µ(Query)) >= Threshold) — the E-selection operator
+// of Section III-C as a declarative table filter. It composes with
+// relational predicates; the optimizer orders relational predicates first
+// (they are cheap) so the model only sees surviving tuples, the same
+// cardinality-reduction argument as the join-side pushdown.
+type SemanticPred struct {
+	// Column is the TEXT column the predicate applies to.
+	Column string
+	// Query is the reference context (e.g. "cooking outdoors").
+	Query string
+	// Threshold is the minimum cosine similarity.
+	Threshold float32
+}
+
+// String renders the predicate for explain output.
+func (p SemanticPred) String() string {
+	return fmt.Sprintf("sim(E(%s), E(%q)) >= %.2f", p.Column, p.Query, p.Threshold)
+}
+
+// SemanticFilter is the standalone execution path for a semantic WHERE:
+// apply relational predicates first, then the E-selection over survivors.
+// Returns the qualifying rows (global ids), their similarities, and stats.
+func SemanticFilter(ctx context.Context, t *relational.Table, m model.Model, preds []relational.Pred, sem SemanticPred) (*SemanticFilterResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("plan: semantic filter requires a model")
+	}
+	start := time.Now()
+	sel, err := relational.And(t, preds...)
+	if err != nil {
+		return nil, err
+	}
+	col, err := t.Strings(sem.Column)
+	if err != nil {
+		return nil, err
+	}
+	texts := make([]string, len(sel))
+	for i, r := range sel {
+		texts[i] = col[r]
+	}
+	es, err := core.ESelect(ctx, m, texts, sem.Query, sem.Threshold, core.Options{Kernel: vec.KernelSIMD})
+	if err != nil {
+		return nil, err
+	}
+	out := &SemanticFilterResult{
+		Stats: es.Stats,
+	}
+	out.Stats.JoinTime = time.Since(start)
+	out.Rows = make(relational.Selection, len(es.Rows))
+	out.Sims = es.Sims
+	for i, local := range es.Rows {
+		out.Rows[i] = sel[local]
+	}
+	return out, nil
+}
+
+// SemanticFilterResult is the output of SemanticFilter.
+type SemanticFilterResult struct {
+	// Rows are qualifying global row ids, ascending.
+	Rows relational.Selection
+	// Sims are the similarities, aligned with Rows.
+	Sims []float32
+	// Stats records model calls and comparisons.
+	Stats core.Stats
+}
+
+// Table materializes the filtered rows of t with a similarity column
+// appended.
+func (r *SemanticFilterResult) Table(t *relational.Table) (*relational.Table, error) {
+	out, err := t.Select(r.Rows)
+	if err != nil {
+		return nil, err
+	}
+	sims := make(relational.Float64Column, len(r.Sims))
+	for i, s := range r.Sims {
+		sims[i] = float64(s)
+	}
+	return out.WithColumn("similarity", sims)
+}

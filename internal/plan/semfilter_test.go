@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+)
+
+func TestSemanticFilter(t *testing.T) {
+	left, _ := testTables(t)
+	m, err := model.NewHashEmbedder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := SemanticFilter(ctx, left, m, nil, SemanticPred{
+		Column: "word", Query: "databases", Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, _ := left.Strings("word")
+	if len(res.Rows) != 1 || words[res.Rows[0]] != "database" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if len(res.Sims) != 1 || res.Sims[0] < 0.5 {
+		t.Errorf("sims = %v", res.Sims)
+	}
+	// Cost: one query embed + one per surviving tuple.
+	if res.Stats.ModelCalls != int64(1+left.NumRows()) {
+		t.Errorf("model calls = %d", res.Stats.ModelCalls)
+	}
+}
+
+// TestSemanticFilterPushdown: relational predicates run first, so the
+// model only embeds survivors — the E-Selection equivalence.
+func TestSemanticFilterPushdown(t *testing.T) {
+	left, _ := testTables(t)
+	inner, _ := model.NewHashEmbedder(64)
+	counted := model.NewCountingModel(inner)
+	cutoff := time.Date(2023, 2, 15, 0, 0, 0, 0, time.UTC)
+	res, err := SemanticFilter(context.Background(), left, counted,
+		[]relational.Pred{{Column: "taken", Op: relational.GT, Value: cutoff}},
+		SemanticPred{Column: "word", Query: "clothing", Threshold: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 2,3 survive the date filter; 1 query + 2 tuple embeds.
+	if counted.Calls() != 3 {
+		t.Errorf("model calls = %d, want 3 (pushdown)", counted.Calls())
+	}
+	words, _ := left.Strings("word")
+	for _, r := range res.Rows {
+		if words[r] != "clothes" {
+			t.Errorf("unexpected row %d (%s)", r, words[r])
+		}
+	}
+}
+
+func TestSemanticFilterErrors(t *testing.T) {
+	left, _ := testTables(t)
+	m, _ := model.NewHashEmbedder(32)
+	ctx := context.Background()
+	if _, err := SemanticFilter(ctx, left, nil, nil, SemanticPred{Column: "word", Query: "x"}); err == nil {
+		t.Error("expected nil-model error")
+	}
+	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "missing", Query: "x"}); err == nil {
+		t.Error("expected missing-column error")
+	}
+	if _, err := SemanticFilter(ctx, left, m, []relational.Pred{{Column: "nope", Op: relational.EQ, Value: int64(1)}},
+		SemanticPred{Column: "word", Query: "x"}); err == nil {
+		t.Error("expected predicate error")
+	}
+	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "word", Query: ""}); err == nil {
+		t.Error("expected empty-query error")
+	}
+}
+
+func TestSemanticFilterResultTable(t *testing.T) {
+	left, _ := testTables(t)
+	m, _ := model.NewHashEmbedder(64)
+	res, err := SemanticFilter(context.Background(), left, m, nil,
+		SemanticPred{Column: "word", Query: "barbecues", Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := res.Table(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != len(res.Rows) {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+	sims, err := tbl.Floats("similarity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sims {
+		if s < 0.5 {
+			t.Errorf("similarity %v below threshold", s)
+		}
+	}
+}
+
+func TestSemanticPredString(t *testing.T) {
+	p := SemanticPred{Column: "name", Query: "bbq", Threshold: 0.75}
+	s := p.String()
+	for _, want := range []string{"name", "bbq", "0.75"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregation operators over selections: the relational tail of a hybrid
+// query plan (count matches per key, summarize similarity scores). Kept
+// deliberately small — the paper's queries filter and join; aggregates
+// round out the analytical substrate.
+
+// GroupCount returns distinct keys of the named column (restricted to sel;
+// pass nil for all rows) with their row counts, sorted by key. Supported
+// key types: BIGINT and TEXT.
+func GroupCount(t *Table, column string, sel Selection) ([]GroupCountRow, error) {
+	col, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		sel = All(t.NumRows())
+	}
+	switch c := col.(type) {
+	case Int64Column:
+		counts := map[int64]int{}
+		for _, r := range sel {
+			counts[c[r]]++
+		}
+		keys := make([]int64, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := make([]GroupCountRow, len(keys))
+		for i, k := range keys {
+			out[i] = GroupCountRow{Key: fmt.Sprintf("%d", k), Count: counts[k]}
+		}
+		return out, nil
+	case StringColumn:
+		counts := map[string]int{}
+		for _, r := range sel {
+			counts[c[r]]++
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]GroupCountRow, len(keys))
+		for i, k := range keys {
+			out[i] = GroupCountRow{Key: k, Count: counts[k]}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("relational: group count unsupported on %v", col.Type())
+	}
+}
+
+// GroupCountRow is one group's key and row count.
+type GroupCountRow struct {
+	Key   string
+	Count int
+}
+
+// FloatStats summarizes a DOUBLE column over a selection.
+type FloatStats struct {
+	Count    int
+	Min, Max float64
+	Sum      float64
+	Mean     float64
+}
+
+// SummarizeFloats computes count/min/max/sum/mean of the named DOUBLE
+// column over sel (nil = all rows).
+func SummarizeFloats(t *Table, column string, sel Selection) (FloatStats, error) {
+	col, err := t.Floats(column)
+	if err != nil {
+		return FloatStats{}, err
+	}
+	if sel == nil {
+		sel = All(t.NumRows())
+	}
+	var s FloatStats
+	for i, r := range sel {
+		v := col[r]
+		if i == 0 {
+			s.Min, s.Max = v, v
+		} else {
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+		s.Sum += v
+		s.Count++
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	return s, nil
+}

@@ -1,0 +1,177 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func csvSchema() Schema {
+	return Schema{
+		{Name: "id", Type: Int64},
+		{Name: "price", Type: Float64},
+		{Name: "name", Type: String},
+		{Name: "active", Type: Bool},
+		{Name: "when", Type: Time},
+	}
+}
+
+const csvBody = `id,price,name,active,when
+1,9.5,ant,true,2023-01-02
+2,20,bee,false,2023-02-03T04:05:06Z
+`
+
+func TestReadCSV(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(csvBody), csvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	ids, _ := tbl.Ints("id")
+	if ids[1] != 2 {
+		t.Errorf("ids = %v", ids)
+	}
+	prices, _ := tbl.Floats("price")
+	if prices[0] != 9.5 {
+		t.Errorf("prices = %v", prices)
+	}
+	names, _ := tbl.Strings("name")
+	if names[0] != "ant" {
+		t.Errorf("names = %v", names)
+	}
+	flags, _ := tbl.Column("active")
+	if flags.(BoolColumn)[0] != true {
+		t.Error("bools wrong")
+	}
+	whens, _ := tbl.Times("when")
+	if whens[0].Day() != 2 || whens[1].Hour() != 4 {
+		t.Errorf("times = %v", whens)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	schema := csvSchema()
+	cases := map[string]string{
+		"empty":        "",
+		"short header": "id,price\n",
+		"wrong name":   "id,price,NAME,active,when\n",
+		"bad int":      "id,price,name,active,when\nx,1,a,true,2023-01-01\n",
+		"bad float":    "id,price,name,active,when\n1,x,a,true,2023-01-01\n",
+		"bad bool":     "id,price,name,active,when\n1,1,a,maybe,2023-01-01\n",
+		"bad time":     "id,price,name,active,when\n1,1,a,true,jan-1\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadCSV(strings.NewReader(body), schema); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Vector columns rejected up front.
+	vs := Schema{{Name: "v", Type: Vector}}
+	if _, err := ReadCSV(strings.NewReader("v\n"), vs); err == nil {
+		t.Error("expected vector rejection")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV(strings.NewReader(csvBody), csvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, csvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Fatalf("rows: %d vs %d", back.NumRows(), orig.NumRows())
+	}
+	a, _ := orig.Times("when")
+	b, _ := back.Times("when")
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("time %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	an, _ := orig.Strings("name")
+	bn, _ := back.Strings("name")
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Errorf("name %d: %q vs %q", i, an[i], bn[i])
+		}
+	}
+}
+
+func TestWriteCSVRejectsVectors(t *testing.T) {
+	vc, _ := NewVectorColumn([][]float32{{1, 2}})
+	tbl, _ := NewTable(Schema{{Name: "v", Type: Vector}}, []Column{vc})
+	if err := WriteCSV(&bytes.Buffer{}, tbl); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestGroupCountInt(t *testing.T) {
+	tbl := sampleTable(t)
+	rows, err := GroupCount(tbl, "id", Selection{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Key != "1" || rows[0].Count != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGroupCountString(t *testing.T) {
+	tbl, _ := NewTable(
+		Schema{{Name: "w", Type: String}},
+		[]Column{StringColumn{"b", "a", "b", "b"}},
+	)
+	rows, err := GroupCount(tbl, "w", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Key != "a" || rows[1].Count != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGroupCountErrors(t *testing.T) {
+	tbl := sampleTable(t)
+	if _, err := GroupCount(tbl, "price", nil); err == nil {
+		t.Error("expected unsupported type error")
+	}
+	if _, err := GroupCount(tbl, "missing", nil); err == nil {
+		t.Error("expected missing column error")
+	}
+}
+
+func TestSummarizeFloats(t *testing.T) {
+	tbl := sampleTable(t)
+	s, err := SummarizeFloats(tbl, "price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.Min != 5 || s.Max != 40 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Mean != s.Sum/5 {
+		t.Errorf("mean inconsistent: %+v", s)
+	}
+	// Selection subset.
+	s, err = SummarizeFloats(tbl, "price", Selection{0, 2})
+	if err != nil || s.Count != 2 || s.Max != 10.5 {
+		t.Errorf("subset stats = %+v err=%v", s, err)
+	}
+	// Empty selection.
+	s, err = SummarizeFloats(tbl, "price", Selection{})
+	if err != nil || s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty stats = %+v err=%v", s, err)
+	}
+	if _, err := SummarizeFloats(tbl, "name", nil); err == nil {
+		t.Error("expected type error")
+	}
+}

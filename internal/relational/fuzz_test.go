@@ -1,0 +1,44 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the loader never panics and never returns a table
+// inconsistent with the schema, whatever bytes it is fed.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"id,name\n1,ant\n",
+		"id,name\n1,ant\n2,bee\n",
+		"id,name\nnot-a-number,x\n",
+		"id,name",
+		"",
+		"id,name\n\"quoted,comma\",x\n",
+		"id,name\n1,\"multi\nline\"\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := Schema{{Name: "id", Type: Int64}, {Name: "name", Type: String}}
+	f.Fuzz(func(t *testing.T, input string) {
+		tbl, err := ReadCSV(strings.NewReader(input), schema)
+		if err != nil {
+			return
+		}
+		if tbl.NumCols() != 2 {
+			t.Fatalf("accepted table with %d columns", tbl.NumCols())
+		}
+		ids, err := tbl.Ints("id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		names, err := tbl.Strings("name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(names) || len(ids) != tbl.NumRows() {
+			t.Fatalf("ragged columns: %d/%d/%d", len(ids), len(names), tbl.NumRows())
+		}
+	})
+}

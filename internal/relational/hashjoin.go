@@ -1,0 +1,85 @@
+package relational
+
+import "fmt"
+
+// Pair is one join match: row indexes into the left and right inputs.
+// E-join operators emit the same shape, so relational and vector joins
+// compose through shared machinery (late materialization by offsets).
+type Pair struct {
+	Left  int
+	Right int
+}
+
+// HashJoin performs an equi-join between left.leftKey and right.rightKey,
+// returning matching row pairs. This is the traditional relational join the
+// paper contrasts the E-join with: usable only for exact matches, which is
+// precisely what embeddings relax. Supported key types: BIGINT and TEXT.
+//
+// The smaller relation should be the build side for memory; this
+// implementation always builds on the right input, matching the paper's
+// "smaller relation inner" heuristic when callers order inputs accordingly.
+func HashJoin(left, right *Table, leftKey, rightKey string) ([]Pair, error) {
+	lc, err := left.Column(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := right.Column(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if lc.Type() != rc.Type() {
+		return nil, fmt.Errorf("relational: hash join key types differ: %v vs %v", lc.Type(), rc.Type())
+	}
+	switch rcol := rc.(type) {
+	case Int64Column:
+		return hashJoinKeys(lc.(Int64Column), rcol), nil
+	case StringColumn:
+		return hashJoinKeys(lc.(StringColumn), rcol), nil
+	default:
+		return nil, fmt.Errorf("relational: hash join unsupported on %v keys", rc.Type())
+	}
+}
+
+func hashJoinKeys[K comparable](probe []K, build []K) []Pair {
+	ht := make(map[K][]int, len(build))
+	for i, k := range build {
+		ht[k] = append(ht[k], i)
+	}
+	var out []Pair
+	for i, k := range probe {
+		for _, j := range ht[k] {
+			out = append(out, Pair{Left: i, Right: j})
+		}
+	}
+	return out
+}
+
+// MaterializeJoin builds the joined table for pairs: all left columns
+// (prefixed "l_") followed by all right columns (prefixed "r_").
+func MaterializeJoin(left, right *Table, pairs []Pair) (*Table, error) {
+	lsel := make(Selection, len(pairs))
+	rsel := make(Selection, len(pairs))
+	for i, p := range pairs {
+		lsel[i] = p.Left
+		rsel[i] = p.Right
+	}
+	lt, err := left.Select(lsel)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := right.Select(rsel)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(Schema, 0, lt.NumCols()+rt.NumCols())
+	cols := make([]Column, 0, lt.NumCols()+rt.NumCols())
+	for i, f := range lt.Schema() {
+		schema = append(schema, Field{Name: "l_" + f.Name, Type: f.Type})
+		cols = append(cols, lt.ColumnAt(i))
+	}
+	for i, f := range rt.Schema() {
+		schema = append(schema, Field{Name: "r_" + f.Name, Type: f.Type})
+		cols = append(cols, rt.ColumnAt(i))
+	}
+	return NewTable(schema, cols)
+}

@@ -1,0 +1,67 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordering operators: ORDER BY and LIMIT over selections, completing the
+// analytical tail of hybrid queries (e.g. "matches by similarity, best
+// first, top 10").
+
+// SortOrder is the direction of an ORDER BY.
+type SortOrder int
+
+const (
+	// Ascending sorts smallest first.
+	Ascending SortOrder = iota
+	// Descending sorts largest first.
+	Descending
+)
+
+// SortSelection returns sel reordered by the named column's values
+// (stable). Supported: BIGINT, DOUBLE, TEXT, TIMESTAMP.
+func SortSelection(t *Table, sel Selection, column string, order SortOrder) (Selection, error) {
+	col, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	out := append(Selection{}, sel...)
+	var less func(a, b int) bool
+	switch c := col.(type) {
+	case Int64Column:
+		less = func(a, b int) bool { return c[a] < c[b] }
+	case Float64Column:
+		less = func(a, b int) bool { return c[a] < c[b] }
+	case StringColumn:
+		less = func(a, b int) bool { return c[a] < c[b] }
+	case TimeColumn:
+		less = func(a, b int) bool { return c[a].Before(c[b]) }
+	default:
+		return nil, fmt.Errorf("relational: sort unsupported on %v", col.Type())
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if order == Descending {
+			return less(out[j], out[i])
+		}
+		return less(out[i], out[j])
+	})
+	return out, nil
+}
+
+// Limit truncates sel to at most n rows (n < 0 keeps all).
+func Limit(sel Selection, n int) Selection {
+	if n < 0 || n >= len(sel) {
+		return sel
+	}
+	return sel[:n]
+}
+
+// TopNBy is ORDER BY column LIMIT n over the whole table.
+func TopNBy(t *Table, column string, order SortOrder, n int) (Selection, error) {
+	sel, err := SortSelection(t, All(t.NumRows()), column, order)
+	if err != nil {
+		return nil, err
+	}
+	return Limit(sel, n), nil
+}

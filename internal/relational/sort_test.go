@@ -1,0 +1,122 @@
+package relational
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSortSelectionInt(t *testing.T) {
+	tbl := sampleTable(t) // ids 1..5
+	sel, err := SortSelection(tbl, Selection{4, 0, 2}, "id", Descending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSel(sel, Selection{4, 2, 0}) {
+		t.Errorf("desc = %v", sel)
+	}
+	sel, err = SortSelection(tbl, Selection{4, 0, 2}, "id", Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSel(sel, Selection{0, 2, 4}) {
+		t.Errorf("asc = %v", sel)
+	}
+}
+
+func TestSortSelectionTypes(t *testing.T) {
+	tbl := sampleTable(t)
+	// Float: prices {10.5, 20, 5, 40, 25} -> ascending order 2,0,1,4,3.
+	sel, err := SortSelection(tbl, All(5), "price", Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSel(sel, Selection{2, 0, 1, 4, 3}) {
+		t.Errorf("price asc = %v", sel)
+	}
+	// String.
+	sel, err = SortSelection(tbl, All(5), "name", Descending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 4 { // "eel" last alphabetically
+		t.Errorf("name desc = %v", sel)
+	}
+	// Time: monotone in the fixture, so ascending = identity.
+	sel, err = SortSelection(tbl, All(5), "taken", Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSel(sel, Selection{0, 1, 2, 3, 4}) {
+		t.Errorf("taken asc = %v", sel)
+	}
+}
+
+func TestSortSelectionErrors(t *testing.T) {
+	tbl := sampleTable(t)
+	if _, err := SortSelection(tbl, All(5), "missing", Ascending); err == nil {
+		t.Error("expected missing column error")
+	}
+	if _, err := SortSelection(tbl, All(5), "flag", Ascending); err == nil {
+		t.Error("expected unsupported type error")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	tbl, _ := NewTable(
+		Schema{{Name: "k", Type: Int64}},
+		[]Column{Int64Column{1, 1, 1, 0}},
+	)
+	sel, err := SortSelection(tbl, Selection{2, 0, 1, 3}, "k", Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 3 (k=0) first; ties keep input order 2, 0, 1.
+	if !equalSel(sel, Selection{3, 2, 0, 1}) {
+		t.Errorf("stable sort = %v", sel)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	sel := Selection{5, 6, 7}
+	if got := Limit(sel, 2); !equalSel(got, Selection{5, 6}) {
+		t.Errorf("Limit(2) = %v", got)
+	}
+	if got := Limit(sel, 10); !equalSel(got, sel) {
+		t.Errorf("Limit(10) = %v", got)
+	}
+	if got := Limit(sel, -1); !equalSel(got, sel) {
+		t.Errorf("Limit(-1) = %v", got)
+	}
+	if got := Limit(sel, 0); len(got) != 0 {
+		t.Errorf("Limit(0) = %v", got)
+	}
+}
+
+func TestTopNBy(t *testing.T) {
+	tbl := sampleTable(t)
+	sel, err := TopNBy(tbl, "price", Descending, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSel(sel, Selection{3, 4}) { // 40, 25
+		t.Errorf("top2 by price = %v", sel)
+	}
+	if _, err := TopNBy(tbl, "flag", Ascending, 1); err == nil {
+		t.Error("expected type error")
+	}
+}
+
+func TestSortWithTimeTies(t *testing.T) {
+	ts := time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)
+	tbl, _ := NewTable(
+		Schema{{Name: "t", Type: Time}},
+		[]Column{TimeColumn{ts, ts.Add(time.Hour), ts}},
+	)
+	sel, err := SortSelection(tbl, All(3), "t", Descending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 1 {
+		t.Errorf("latest first: %v", sel)
+	}
+}

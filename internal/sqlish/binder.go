@@ -1,0 +1,212 @@
+package sqlish
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ejoin/internal/model"
+	"ejoin/internal/plan"
+	"ejoin/internal/relational"
+)
+
+// Catalog maps table names to tables for binding.
+type Catalog struct {
+	tables map[string]*relational.Table
+	// indexes optionally maps a table name to a prebuilt vector index.
+	indexes map[string]plan.TableRef
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*relational.Table{}}
+}
+
+// Register adds a named table (case-insensitive name).
+func (c *Catalog) Register(name string, t *relational.Table) {
+	c.tables[strings.ToLower(name)] = t
+}
+
+// lookup finds a registered table.
+func (c *Catalog) lookup(name string) (*relational.Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlish: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Bind resolves a parsed statement against the catalog into an executable
+// Query using the given embedding model.
+func Bind(stmt *Stmt, c *Catalog, m model.Model) (plan.Query, error) {
+	var q plan.Query
+	leftTbl, err := c.lookup(stmt.LeftTable)
+	if err != nil {
+		return q, err
+	}
+	rightTbl, err := c.lookup(stmt.RightTable)
+	if err != nil {
+		return q, err
+	}
+
+	// The ON clause may name the columns in either order.
+	lc, rc := stmt.Join.LeftCol, stmt.Join.RightCol
+	if strings.EqualFold(lc.Table, stmt.RightTable) && strings.EqualFold(rc.Table, stmt.LeftTable) {
+		lc, rc = rc, lc
+	}
+	if !strings.EqualFold(lc.Table, stmt.LeftTable) || !strings.EqualFold(rc.Table, stmt.RightTable) {
+		return q, fmt.Errorf("sqlish: join columns %s, %s do not match FROM tables %s, %s",
+			stmt.Join.LeftCol, stmt.Join.RightCol, stmt.LeftTable, stmt.RightTable)
+	}
+
+	q.Left = plan.TableRef{Name: stmt.LeftTable, Table: leftTbl}
+	q.Right = plan.TableRef{Name: stmt.RightTable, Table: rightTbl}
+	if err := bindJoinColumn(&q.Left, lc); err != nil {
+		return q, err
+	}
+	if err := bindJoinColumn(&q.Right, rc); err != nil {
+		return q, err
+	}
+	q.Model = m
+
+	if stmt.Join.TopK > 0 {
+		q.Join = plan.JoinSpec{Kind: plan.TopKJoin, K: stmt.Join.TopK, Threshold: -2}
+		if stmt.Join.HasThreshold {
+			q.Join.Threshold = float32(stmt.Join.Threshold)
+		}
+	} else {
+		q.Join = plan.JoinSpec{Kind: plan.ThresholdJoin, Threshold: float32(stmt.Join.Threshold)}
+	}
+
+	for _, pred := range stmt.Where {
+		rel, side, err := bindPred(pred, stmt, leftTbl, rightTbl)
+		if err != nil {
+			return q, err
+		}
+		if side == 0 {
+			q.Left.Predicates = append(q.Left.Predicates, rel)
+		} else {
+			q.Right.Predicates = append(q.Right.Predicates, rel)
+		}
+	}
+	return q, nil
+}
+
+// bindJoinColumn routes a join column to TextColumn or VectorColumn by its
+// declared type.
+func bindJoinColumn(ref *plan.TableRef, col ColRef) error {
+	idx := ref.Table.Schema().IndexOf(col.Column)
+	if idx < 0 {
+		return fmt.Errorf("sqlish: table %q has no column %q", col.Table, col.Column)
+	}
+	switch ref.Table.Schema()[idx].Type {
+	case relational.String:
+		ref.TextColumn = col.Column
+	case relational.Vector:
+		ref.VectorColumn = col.Column
+	default:
+		return fmt.Errorf("sqlish: join column %s must be TEXT or VECTOR, is %v",
+			col, ref.Table.Schema()[idx].Type)
+	}
+	return nil
+}
+
+var opMap = map[string]relational.CmpOp{
+	"=":  relational.EQ,
+	"!=": relational.NE,
+	"<":  relational.LT,
+	"<=": relational.LE,
+	">":  relational.GT,
+	">=": relational.GE,
+}
+
+// bindPred converts one WHERE conjunct; side 0 = left table, 1 = right.
+func bindPred(pr PredExpr, stmt *Stmt, leftTbl, rightTbl *relational.Table) (relational.Pred, int, error) {
+	var tbl *relational.Table
+	var side int
+	switch {
+	case strings.EqualFold(pr.Col.Table, stmt.LeftTable):
+		tbl, side = leftTbl, 0
+	case strings.EqualFold(pr.Col.Table, stmt.RightTable):
+		tbl, side = rightTbl, 1
+	default:
+		return relational.Pred{}, 0, fmt.Errorf("sqlish: predicate table %q not in FROM clause", pr.Col.Table)
+	}
+	idx := tbl.Schema().IndexOf(pr.Col.Column)
+	if idx < 0 {
+		return relational.Pred{}, 0, fmt.Errorf("sqlish: table %q has no column %q", pr.Col.Table, pr.Col.Column)
+	}
+	op, ok := opMap[pr.Op]
+	if !ok {
+		return relational.Pred{}, 0, fmt.Errorf("sqlish: unknown operator %q", pr.Op)
+	}
+	value, err := literalFor(tbl.Schema()[idx].Type, pr)
+	if err != nil {
+		return relational.Pred{}, 0, fmt.Errorf("sqlish: predicate on %s: %w", pr.Col, err)
+	}
+	return relational.Pred{Column: pr.Col.Column, Op: op, Value: value}, side, nil
+}
+
+// literalFor coerces the parsed literal to the column's value type.
+func literalFor(t relational.Type, pr PredExpr) (any, error) {
+	switch t {
+	case relational.Int64:
+		if !pr.IsNumber || !pr.IsInteger {
+			return nil, fmt.Errorf("BIGINT column needs an integer literal")
+		}
+		return pr.Int, nil
+	case relational.Float64:
+		if !pr.IsNumber {
+			return nil, fmt.Errorf("DOUBLE column needs a numeric literal")
+		}
+		return pr.Number, nil
+	case relational.String:
+		if pr.IsNumber {
+			return nil, fmt.Errorf("TEXT column needs a string literal")
+		}
+		return pr.Str, nil
+	case relational.Bool:
+		switch strings.ToLower(pr.Str) {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("BOOLEAN column needs 'true' or 'false'")
+	case relational.Time:
+		if pr.IsNumber {
+			return nil, fmt.Errorf("TIMESTAMP column needs a string literal")
+		}
+		ts, err := parseAnyTime(pr.Str)
+		if err != nil {
+			return nil, err
+		}
+		return ts, nil
+	default:
+		return nil, fmt.Errorf("unsupported predicate column type %v", t)
+	}
+}
+
+func parseAnyTime(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("cannot parse timestamp %q", s)
+}
+
+// Run parses, binds, optimizes, and executes a query in one call.
+func Run(ctx context.Context, input string, c *Catalog, m model.Model) (*plan.ExecResult, plan.Query, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, plan.Query{}, err
+	}
+	q, err := Bind(stmt, c, m)
+	if err != nil {
+		return nil, plan.Query{}, err
+	}
+	res, _, err := plan.Run(ctx, q, nil, nil)
+	return res, q, err
+}

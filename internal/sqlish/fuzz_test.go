@@ -1,0 +1,43 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and either returns a
+// structured statement or an error — the robustness contract of a query
+// front end facing user input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM a JOIN b ON SIM(a.x, b.y) >= 0.6",
+		"SELECT * FROM a JOIN b ON TOPK(a.x, b.y, 5) >= 0.9 WHERE a.k > 3 AND b.s = 'x'",
+		"select * from t1 join t2 on sim(t1.c, t2.c) > 0",
+		"SELECT * FROM a JOIN b ON SIM(a.x, b.y) >= 0.6 WHERE a.t > '2023-01-01'",
+		"",
+		"SELECT",
+		"🚀 SELECT * FROM",
+		"SELECT * FROM a JOIN b ON SIM(a.x, b.y) >= '",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil {
+			if stmt.LeftTable == "" || stmt.RightTable == "" {
+				t.Fatalf("accepted statement with empty tables: %q", input)
+			}
+			if stmt.Join.TopK == 0 && !stmt.Join.HasThreshold {
+				t.Fatalf("accepted join without condition: %q", input)
+			}
+		}
+		// Lexer round: tokens must cover the input without panicking.
+		if toks, lerr := lex(input); lerr == nil {
+			if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+				t.Fatalf("lexer lost EOF on %q", input)
+			}
+		}
+		_ = strings.TrimSpace(input)
+	})
+}

@@ -1,0 +1,112 @@
+// Package sqlish implements a small declarative query language for hybrid
+// vector-relational joins — the "declarative query specification" the
+// paper's introduction motivates, over this engine:
+//
+//	SELECT *
+//	FROM catalog JOIN feed
+//	  ON SIM(catalog.name, feed.title) >= 0.6
+//	WHERE feed.ingested > '2023-02-10' AND catalog.sku >= 100
+//
+//	SELECT * FROM queries JOIN corpus
+//	  ON TOPK(queries.q, corpus.doc, 2)
+//
+// The grammar covers exactly the query shape of the paper's Figure 5: one
+// E-join between two tables with per-table relational predicates. SIM(...)
+// >= τ declares a threshold join; TOPK(..., k) a top-k join. The planner,
+// optimizer and executor behind it are the regular ones.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . *
+	tokOp     // = != < <= > >=
+)
+
+// token is one lexical token with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords stay tokIdent; the parser
+// matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			out = append(out, token{kind: tokOp, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				out = append(out, token{kind: tokOp, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlish: stray '!' at offset %d", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			out = append(out, token{kind: tokOp, text: op, pos: i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlish: unterminated string starting at offset %d", i)
+			}
+			out = append(out, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			out = append(out, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			out = append(out, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlish: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}
+
+// isKeyword reports whether tok is the given keyword (case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

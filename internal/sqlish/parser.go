@@ -1,0 +1,304 @@
+package sqlish
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST for the supported grammar:
+//
+//	query      := SELECT '*' FROM ident JOIN ident ON joincond [WHERE conj]
+//	joincond   := SIM '(' colref ',' colref ')' cmp number
+//	            | TOPK '(' colref ',' colref ',' number ')' [cmp number]
+//	conj       := pred (AND pred)*
+//	pred       := colref cmp literal
+//	colref     := ident '.' ident
+//	literal    := number | string
+//
+// cmp for SIM is restricted to >= / > (cosine thresholds); relational
+// predicates accept the full operator set.
+
+// Stmt is the parsed query.
+type Stmt struct {
+	LeftTable  string
+	RightTable string
+	Join       JoinCond
+	Where      []PredExpr
+}
+
+// JoinCond is the ON clause.
+type JoinCond struct {
+	// TopK > 0 selects a top-k join; otherwise threshold.
+	TopK int
+	// Threshold applies to SIM joins and optionally to TOPK (range).
+	Threshold float64
+	// HasThreshold records whether a threshold was written.
+	HasThreshold bool
+	LeftCol      ColRef
+	RightCol     ColRef
+}
+
+// ColRef is table.column.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// PredExpr is one WHERE conjunct.
+type PredExpr struct {
+	Col ColRef
+	Op  string
+	// One of Number/Str is set.
+	Number    float64
+	IsNumber  bool
+	Str       string
+	IsInteger bool
+	Int       int64
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one query.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.cur().isEOF() {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (t token) isEOF() bool { return t.kind == tokEOF }
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlish: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != sym {
+		return p.errf("expected %q, got %q", sym, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{}
+	var err error
+	if stmt.LeftTable, err = p.parseIdent("left table"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("JOIN"); err != nil {
+		return nil, err
+	}
+	if stmt.RightTable, err = p.parseIdent("right table"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if stmt.Join, err = p.parseJoinCond(); err != nil {
+		return nil, err
+	}
+	if p.cur().isKeyword("WHERE") {
+		p.advance()
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.cur().isKeyword("AND") {
+				break
+			}
+			p.advance()
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseIdent(what string) (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected %s name, got %q", what, p.cur().text)
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) parseJoinCond() (JoinCond, error) {
+	var jc JoinCond
+	switch {
+	case p.cur().isKeyword("SIM"):
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return jc, err
+		}
+		var err error
+		if jc.LeftCol, err = p.parseColRef(); err != nil {
+			return jc, err
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return jc, err
+		}
+		if jc.RightCol, err = p.parseColRef(); err != nil {
+			return jc, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return jc, err
+		}
+		op := p.cur()
+		if op.kind != tokOp || (op.text != ">=" && op.text != ">") {
+			return jc, p.errf("SIM join requires >= or >, got %q", op.text)
+		}
+		p.advance()
+		v, err := p.parseNumber()
+		if err != nil {
+			return jc, err
+		}
+		if v < -1 || v > 1 {
+			return jc, fmt.Errorf("sqlish: similarity threshold %v outside [-1, 1]", v)
+		}
+		jc.Threshold = v
+		jc.HasThreshold = true
+		return jc, nil
+
+	case p.cur().isKeyword("TOPK"):
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return jc, err
+		}
+		var err error
+		if jc.LeftCol, err = p.parseColRef(); err != nil {
+			return jc, err
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return jc, err
+		}
+		if jc.RightCol, err = p.parseColRef(); err != nil {
+			return jc, err
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return jc, err
+		}
+		k, err := p.parseNumber()
+		if err != nil {
+			return jc, err
+		}
+		if k < 1 || k != float64(int(k)) {
+			return jc, fmt.Errorf("sqlish: TOPK k must be a positive integer, got %v", k)
+		}
+		jc.TopK = int(k)
+		if err := p.expectSymbol(")"); err != nil {
+			return jc, err
+		}
+		// Optional residual threshold: TOPK(...) >= 0.9.
+		if p.cur().kind == tokOp && (p.cur().text == ">=" || p.cur().text == ">") {
+			p.advance()
+			v, err := p.parseNumber()
+			if err != nil {
+				return jc, err
+			}
+			jc.Threshold = v
+			jc.HasThreshold = true
+		}
+		return jc, nil
+	default:
+		return jc, p.errf("expected SIM(...) or TOPK(...), got %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	var c ColRef
+	var err error
+	if c.Table, err = p.parseIdent("table"); err != nil {
+		return c, err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return c, err
+	}
+	if c.Column, err = p.parseIdent("column"); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected number, got %q", p.cur().text)
+	}
+	v, err := strconv.ParseFloat(p.advance().text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlish: bad number: %w", err)
+	}
+	return v, nil
+}
+
+func (p *parser) parsePred() (PredExpr, error) {
+	var pr PredExpr
+	var err error
+	if pr.Col, err = p.parseColRef(); err != nil {
+		return pr, err
+	}
+	if p.cur().kind != tokOp {
+		return pr, p.errf("expected comparison operator, got %q", p.cur().text)
+	}
+	pr.Op = p.advance().text
+	switch p.cur().kind {
+	case tokNumber:
+		text := p.advance().text
+		if iv, err := strconv.ParseInt(text, 10, 64); err == nil {
+			pr.IsInteger = true
+			pr.Int = iv
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return pr, fmt.Errorf("sqlish: bad number: %w", err)
+		}
+		pr.Number = v
+		pr.IsNumber = true
+	case tokString:
+		pr.Str = p.advance().text
+	default:
+		return pr, p.errf("expected literal, got %q", p.cur().text)
+	}
+	return pr, nil
+}

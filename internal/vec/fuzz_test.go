@@ -1,0 +1,50 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip checks binary16 conversion invariants on arbitrary
+// float32 bit patterns: round trips preserve class (NaN/Inf/finite), sign,
+// and bounded error for values in half-precision range.
+func FuzzF16RoundTrip(f *testing.F) {
+	for _, seed := range []uint32{0, 1, 0x3f800000, 0x7f800000, 0xff800000, 0x7fc00000, 0x33800000, 0x477fe000} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		h := F16FromFloat32(x)
+		back := h.Float32()
+		switch {
+		case math.IsNaN(float64(x)):
+			if !math.IsNaN(float64(back)) {
+				t.Fatalf("NaN lost: %#08x -> %v", bits, back)
+			}
+		case math.IsInf(float64(x), 0):
+			if !math.IsInf(float64(back), int(sign(x))) {
+				t.Fatalf("Inf lost: %v -> %v", x, back)
+			}
+		default:
+			// Finite: sign preserved (or result is zero), and values in
+			// the representable range stay within relative epsilon.
+			if back != 0 && sign(back) != sign(x) {
+				t.Fatalf("sign flipped: %v -> %v", x, back)
+			}
+			ax := math.Abs(float64(x))
+			if ax >= 6.2e-5 && ax <= 65504 {
+				rel := math.Abs(float64(back)-float64(x)) / ax
+				if rel > 1e-3 {
+					t.Fatalf("error %v for %v -> %v", rel, x, back)
+				}
+			}
+		}
+	})
+}
+
+func sign(x float32) float32 {
+	if math.Signbit(float64(x)) {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,98 @@
+package ejoin
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunQueryWithIVFIndex drives a declarative query through the IVF
+// access path: any vindex.Index implementation must be usable wherever an
+// HNSW index is.
+func TestRunQueryWithIVFIndex(t *testing.T) {
+	q := queryFixture(t)
+	ctx := context.Background()
+	idx, err := BuildIVFIndex(ctx, q.Right.Table, "term", q.Model, IVFConfig{NLists: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != q.Right.Table.NumRows() {
+		t.Fatalf("index len = %d", idx.Len())
+	}
+	q.Right.Index = idx
+	q.Join = JoinSpec{Kind: TopKJoin, K: 1, Threshold: -2}
+
+	s := StrategyIndex
+	opt := NewOptimizer()
+	opt.ForceStrategy = &s
+	// Probe every partition: exact results on this tiny input.
+	res, pl, err := Run(ctx, q, &Executor{IndexEf: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != StrategyIndex {
+		t.Errorf("strategy = %v", pl.Strategy)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	lw, _ := q.Left.Table.Strings("word")
+	rw, _ := q.Right.Table.Strings("term")
+	got := map[string]string{}
+	for _, m := range res.Matches {
+		got[lw[m.Left]] = rw[m.Right]
+	}
+	if got["barbecue"] != "barbecues" || got["database"] != "databases" || got["clothes"] != "clothing" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+// TestIVFWithPreFilterThroughPlanner: relational predicates become IVF
+// pre-filters (applied before distance computations).
+func TestIVFWithPreFilterThroughPlanner(t *testing.T) {
+	q := queryFixture(t)
+	ctx := context.Background()
+	idx, err := BuildIVFIndex(ctx, q.Right.Table, "term", q.Model, IVFConfig{NLists: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Right.Index = idx
+	q.Right.Predicates = []Pred{{Column: "score", Op: LE, Value: int64(2)}}
+	q.Join = JoinSpec{Kind: TopKJoin, K: 1, Threshold: -2}
+
+	s := StrategyIndex
+	opt := NewOptimizer()
+	opt.ForceStrategy = &s
+	res, _, err := Run(ctx, q, &Executor{IndexEf: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		if m.Right > 1 {
+			t.Errorf("pre-filter violated (score<=2 keeps rows 0,1): %+v", m)
+		}
+	}
+	if len(res.Matches) != 3 {
+		t.Errorf("matches = %v", res.Matches)
+	}
+}
+
+// TestBuildIVFIndexVectorColumn indexes a precomputed vector column.
+func TestBuildIVFIndexVectorColumn(t *testing.T) {
+	q := queryFixture(t)
+	ctx := context.Background()
+	rt, err := EmbedColumn(ctx, q.Right.Table, "term", "emb", q.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIVFIndex(ctx, rt, "emb", nil, IVFConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != rt.NumRows() {
+		t.Errorf("len = %d", idx.Len())
+	}
+	// TEXT column without model fails.
+	if _, err := BuildIVFIndex(ctx, q.Right.Table, "term", nil, IVFConfig{}); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,152 @@
+package ejoin
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ejoin/internal/core"
+	"ejoin/internal/hnsw"
+	"ejoin/internal/mat"
+	"ejoin/internal/plan"
+	"ejoin/internal/vec"
+)
+
+// StringMatch is one match from the convenience string-join API.
+type StringMatch struct {
+	Left, Right string
+	// LeftRow/RightRow are the input offsets.
+	LeftRow, RightRow int
+	// Sim is the cosine similarity under the model.
+	Sim float32
+}
+
+// JoinStrings joins two string slices on semantic similarity: every pair
+// whose embeddings have cosine similarity >= threshold matches. This is the
+// one-call form of the optimized pipeline (prefetch + tensor join).
+func JoinStrings(ctx context.Context, m Model, left, right []string, threshold float32) ([]StringMatch, error) {
+	lm, err := core.Embed(ctx, m, left)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding left input: %w", err)
+	}
+	rm, err := core.Embed(ctx, m, right)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding right input: %w", err)
+	}
+	res, err := core.TensorJoin(ctx, lm, rm, threshold, core.Options{Kernel: vec.KernelSIMD})
+	if err != nil {
+		return nil, err
+	}
+	return toStringMatches(left, right, res), nil
+}
+
+// TopKStrings joins each left string with its k most similar right strings,
+// ordered by left input position and then descending similarity.
+func TopKStrings(ctx context.Context, m Model, left, right []string, k int) ([]StringMatch, error) {
+	lm, err := core.Embed(ctx, m, left)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding left input: %w", err)
+	}
+	rm, err := core.Embed(ctx, m, right)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: embedding right input: %w", err)
+	}
+	res, err := core.TensorTopK(ctx, lm, rm, k, core.Options{Kernel: vec.KernelSIMD})
+	if err != nil {
+		return nil, err
+	}
+	out := toStringMatches(left, right, res)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LeftRow != out[j].LeftRow {
+			return out[i].LeftRow < out[j].LeftRow
+		}
+		return out[i].Sim > out[j].Sim
+	})
+	return out, nil
+}
+
+func toStringMatches(left, right []string, res *core.Result) []StringMatch {
+	out := make([]StringMatch, len(res.Matches))
+	for i, m := range res.Matches {
+		out[i] = StringMatch{
+			Left: left[m.Left], Right: right[m.Right],
+			LeftRow: m.Left, RightRow: m.Right,
+			Sim: m.Sim,
+		}
+	}
+	return out
+}
+
+// Run executes a query end to end: build the naive plan, optimize it, and
+// execute. Returns the result and the optimized plan (for Explain).
+// Pass nil for exec and opt to use defaults.
+func Run(ctx context.Context, q Query, exec *Executor, opt *Optimizer) (*ExecResult, *EJoinPlan, error) {
+	return plan.Run(ctx, q, exec, opt)
+}
+
+// BuildIndex constructs an HNSW index over the embeddings of the named
+// column: a VECTOR column is indexed directly; a TEXT column is embedded
+// with m first. Attach the result to TableRef.Index so the planner can
+// choose the index strategy.
+func BuildIndex(ctx context.Context, t *Table, column string, m Model, cfg IndexConfig) (*Index, error) {
+	em, err := columnEmbeddings(ctx, t, column, m)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := hnsw.New(em.Cols(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < em.Rows(); i++ {
+		if _, err := idx.Insert(em.Row(i)); err != nil {
+			return nil, fmt.Errorf("ejoin: indexing row %d: %w", i, err)
+		}
+	}
+	return idx, nil
+}
+
+// columnEmbeddings resolves a column to an embedding matrix: VECTOR
+// columns directly, TEXT columns through the model.
+func columnEmbeddings(ctx context.Context, t *Table, column string, m Model) (*mat.Matrix, error) {
+	if vc, err := t.Vectors(column); err == nil {
+		em, err := mat.FromFlat(vc.Len(), vc.Dim, vc.Data)
+		if err != nil {
+			return nil, err
+		}
+		em = em.Clone()
+		em.NormalizeRows()
+		return em, nil
+	}
+	texts, err := t.Strings(column)
+	if err != nil {
+		return nil, fmt.Errorf("ejoin: column %q is neither VECTOR nor TEXT: %w", column, err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("ejoin: embedding TEXT column %q requires a model", column)
+	}
+	return core.EmbedParallel(ctx, m, texts, 0)
+}
+
+// EmbedColumn computes the embedding of a TEXT column and returns a table
+// extended with a VECTOR column of the given name — the precompute/cache
+// path ("Option 1" of Figure 5): pay E_µ once at load time, never at query
+// time.
+func EmbedColumn(ctx context.Context, t *Table, textColumn, vectorColumn string, m Model) (*Table, error) {
+	texts, err := t.Strings(textColumn)
+	if err != nil {
+		return nil, err
+	}
+	em, err := core.Embed(ctx, m, texts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float32, em.Rows())
+	for i := range rows {
+		rows[i] = em.Row(i)
+	}
+	vc, err := NewVectorColumn(rows)
+	if err != nil {
+		return nil, err
+	}
+	return t.WithColumn(vectorColumn, vc)
+}
