@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ejoin/internal/bench"
+	"ejoin/internal/embstore"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload RNG seed")
 		quick   = flag.Bool("quick", false, "tiny sizes for smoke runs")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", ".", "directory for BENCH_*.json results ('' disables)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,10 @@ func main() {
 	if *threads > 0 {
 		cfg.Threads = *threads
 	}
+	cfg.JSONDir = *jsonDir
+	// One shared embedding store per process, as a production deployment
+	// would hold one across all queries it serves.
+	cfg.Store = embstore.New(embstore.Config{MaxBytes: 256 << 20})
 
 	if *exps == "all" {
 		if err := bench.RunAll(os.Stdout, cfg); err != nil {

@@ -20,9 +20,15 @@ import (
 	"os"
 
 	"ejoin/internal/core"
+	"ejoin/internal/embstore"
 	"ejoin/internal/model"
 	"ejoin/internal/vec"
 )
+
+// store is the per-process shared embedding store: every join this
+// invocation runs (and every repeated column) embeds each distinct string
+// at most once.
+var store = embstore.New(embstore.Config{})
 
 func main() {
 	var (
@@ -34,12 +40,18 @@ func main() {
 		topk      = flag.Int("topk", 0, "if >0, join each left row with its k best matches instead of a threshold")
 		dim       = flag.Int("dim", 100, "embedding dimensionality")
 		limit     = flag.Int("limit", 50, "max matches to print (0 = all)")
+		stats     = flag.Bool("stats", false, "print embedding-store statistics after the join")
 	)
 	flag.Parse()
 
 	if err := run(*leftPath, *rightPath, *leftCol, *rightCol, float32(*threshold), *topk, *dim, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "ejcli:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		st := store.Stats()
+		fmt.Printf("store: %d hits, %d misses, %d merged, %d model calls, %d entries, %d bytes\n",
+			st.Hits, st.Misses, st.Merged, st.ModelCalls, st.Entries, st.Bytes)
 	}
 }
 
@@ -61,11 +73,11 @@ func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk,
 		return err
 	}
 	ctx := context.Background()
-	lm, err := core.Embed(ctx, m, leftVals)
+	lm, _, err := store.EmbedAll(ctx, m, leftVals, embstore.BatchOptions{})
 	if err != nil {
 		return err
 	}
-	rm, err := core.Embed(ctx, m, rightVals)
+	rm, _, err := store.EmbedAll(ctx, m, rightVals, embstore.BatchOptions{})
 	if err != nil {
 		return err
 	}

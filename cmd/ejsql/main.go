@@ -22,11 +22,19 @@ import (
 	"os"
 	"strings"
 
+	"ejoin/internal/core"
+	"ejoin/internal/embstore"
 	"ejoin/internal/model"
 	"ejoin/internal/plan"
 	"ejoin/internal/relational"
 	"ejoin/internal/sqlish"
+	"ejoin/internal/vec"
 )
+
+// store is the per-process shared embedding store: a long-lived ejsql
+// process (or one invocation running several queries over the same
+// catalog) embeds each distinct string at most once.
+var store = embstore.New(embstore.Config{})
 
 // tableFlags accumulates repeated -table flags.
 type tableFlags []string
@@ -70,7 +78,10 @@ func run(tables []string, query string, dim int, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	res, q, err := sqlish.Run(context.Background(), query, catalog, m)
+	ex := &plan.Executor{Options: core.Options{Kernel: vec.KernelSIMD}, Store: store}
+	opt := plan.NewOptimizer()
+	opt.Store = store
+	res, q, err := sqlish.RunWith(context.Background(), query, catalog, m, ex, opt)
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,26 @@
 //
 // For table-level queries with relational predicates, build a Query and
 // call Run; see the examples directory.
+//
+// # Cross-query embedding reuse
+//
+// Within one query the optimizer already prefetches embeddings once per
+// tuple instead of once per pair. The shared EmbedStore extends that reuse
+// across queries and across concurrent sessions: one store per process
+// caches embeddings keyed by (model fingerprint, input) in sharded LRU
+// segments, merges concurrent requests for the same input into a single
+// in-flight model call, and coalesces cache misses into chunked parallel
+// embed batches. Repeated queries over the same corpus perform zero model
+// calls for already-seen inputs, and the optimizer discounts the embedding
+// cost term by the store's expected hit ratio when choosing the physical
+// strategy:
+//
+//	store := ejoin.NewEmbedStore(ejoin.EmbedStoreConfig{MaxBytes: 256 << 20})
+//	exec := ejoin.NewStoreExecutor(store)
+//	opt := ejoin.NewStoreOptimizer(store)
+//	res, _, _ := ejoin.Run(ctx, q, exec, opt) // cold: embeds and caches
+//	res, _, _ = ejoin.Run(ctx, q, exec, opt)  // warm: zero model calls
+//	fmt.Println(store.Stats())                // hits, misses, merged, bytes
 package ejoin
 
 import (

@@ -6,9 +6,11 @@ import (
 	"io"
 
 	"ejoin/internal/core"
+	"ejoin/internal/embstore"
 	"ejoin/internal/hnsw"
 	"ejoin/internal/ivf"
 	"ejoin/internal/lsh"
+	"ejoin/internal/model"
 	"ejoin/internal/plan"
 	"ejoin/internal/relational"
 	"ejoin/internal/vec"
@@ -122,6 +124,53 @@ func ReadCSV(r io.Reader, schema Schema) (*Table, error) {
 // WriteCSV renders a table as CSV with a header row.
 func WriteCSV(w io.Writer, t *Table) error {
 	return relational.WriteCSV(w, t)
+}
+
+// EmbedStore is the shared, cross-query embedding store: a sharded,
+// concurrency-safe cache of embeddings keyed by (model fingerprint, input)
+// with single-flight deduplication, a batch scheduler that coalesces
+// misses into chunked parallel model calls, and bounded-memory LRU
+// eviction. One store per process turns the paper's per-query prefetch
+// optimization into cross-query reuse: the second query over a corpus
+// performs zero model calls for already-seen inputs.
+type EmbedStore = embstore.Store
+
+// EmbedStoreConfig tunes an EmbedStore (shards, byte budget, chunk size,
+// scheduler threads). The zero value is a usable default.
+type EmbedStoreConfig = embstore.Config
+
+// EmbedStoreStats is the store's observability surface (hits, misses,
+// merged in-flight calls, evictions, model calls, resident bytes).
+type EmbedStoreStats = embstore.Stats
+
+// NewEmbedStore builds a shared embedding store. Attach it to an Executor
+// and Optimizer (see NewStoreExecutor / NewStoreOptimizer) or wrap a model
+// with NewCachingModel.
+func NewEmbedStore(cfg EmbedStoreConfig) *EmbedStore { return embstore.New(cfg) }
+
+// NewCachingModel wraps inner so that every Embed is served through the
+// shared store: repeated and concurrent embeddings of the same input cost
+// one model call process-wide. Use it where an API takes a Model rather
+// than an Executor.
+func NewCachingModel(inner Model, store *EmbedStore) Model {
+	return model.NewCachingModel(inner, store)
+}
+
+// NewStoreExecutor returns an executor whose Embed nodes evaluate through
+// the shared store (pass nil for a store-less executor equivalent to
+// &Executor{}).
+func NewStoreExecutor(store *EmbedStore) *Executor {
+	return &Executor{Options: core.Options{Kernel: vec.KernelSIMD}, Store: store}
+}
+
+// NewStoreOptimizer returns an optimizer with default cost parameters
+// whose access path selection is cache-aware: expected hit ratios sampled
+// from the store discount the embedding cost term, so a warm cache can
+// change the chosen physical strategy.
+func NewStoreOptimizer(store *EmbedStore) *Optimizer {
+	o := plan.NewOptimizer()
+	o.Store = store
+	return o
 }
 
 // ApproxJoinStrings is the LSH baseline join: candidate pairs come from

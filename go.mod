@@ -1,0 +1,3 @@
+module ejoin
+
+go 1.24.0

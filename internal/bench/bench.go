@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ejoin/internal/embstore"
 )
 
 // Config scales and seeds experiments.
@@ -29,6 +31,12 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sizes further for CI/tests.
 	Quick bool
+	// Store is the process-wide shared embedding store (set by cmd/ejbench
+	// so experiments share one cache); nil experiments build their own.
+	Store *embstore.Store
+	// JSONDir, when non-empty, is where experiments that emit machine-
+	// readable results (BENCH_*.json) write them.
+	JSONDir string
 }
 
 // DefaultConfig returns the standard laptop-scale configuration.
@@ -90,6 +98,7 @@ func Registry() []Experiment {
 		expLSH(),
 		expFP16(),
 		expModelCache(),
+		expCache(),
 		expBlockSize(),
 		expHNSWRecall(),
 		expIVF(),

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/embstore"
+	"ejoin/internal/model"
+	"ejoin/internal/plan"
+	"ejoin/internal/relational"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// cacheReport is the machine-readable result of the cache experiment,
+// written to BENCH_cache.json when Config.JSONDir is set.
+type cacheReport struct {
+	Rows           int     `json:"rows_per_side"`
+	ColdMs         float64 `json:"cold_ms"`
+	WarmMs         float64 `json:"warm_ms"`
+	Speedup        float64 `json:"speedup"`
+	ColdModelCalls int64   `json:"cold_model_calls"`
+	WarmModelCalls int64   `json:"warm_model_calls"`
+	HitRatio       float64 `json:"hit_ratio"`
+	StoreEntries   int     `json:"store_entries"`
+	StoreBytes     int64   `json:"store_bytes"`
+	Identical      bool    `json:"identical_results"`
+}
+
+// expCache measures the shared embedding store across repeated queries:
+// the same Query.Run twice against one store, cold then warm. The warm
+// run must perform zero model calls for already-seen inputs and produce
+// identical join results; the speedup is the E_µ share of end-to-end time
+// the store reclaims for every query after the first.
+func expCache() Experiment {
+	return Experiment{
+		Name:        "cache",
+		Paper:       "Store (new)",
+		Description: "Shared embedding store across queries: cold vs warm Query.Run, hit ratio, model calls, speedup.",
+		Run: func(w io.Writer, cfg Config) error {
+			ctx := context.Background()
+			nr, ns := cfg.size(300), cfg.size(300)
+
+			lt, err := stringTable(workload.Strings(cfg.Seed, nr, nil))
+			if err != nil {
+				return err
+			}
+			rt, err := stringTable(workload.Strings(cfg.Seed+1, ns, nil))
+			if err != nil {
+				return err
+			}
+
+			base, err := model.NewHashEmbedder(100)
+			if err != nil {
+				return err
+			}
+			// A per-call latency makes the model the dominant cost, the
+			// regime the store exists for (remote or deep models).
+			counting := model.NewCountingModel(model.NewLatencyModel(base, 20*time.Microsecond))
+
+			store := cfg.Store
+			if store == nil {
+				store = embstore.New(embstore.Config{})
+			}
+			store.Reset() // the experiment owns cold-vs-warm transitions
+			ex := &plan.Executor{Options: core.Options{Kernel: vec.KernelSIMD, Threads: cfg.threads()}, Store: store}
+			opt := plan.NewOptimizer()
+			opt.Store = store
+
+			q := plan.Query{
+				Left:  plan.TableRef{Name: "L", Table: lt, TextColumn: "text"},
+				Right: plan.TableRef{Name: "R", Table: rt, TextColumn: "text"},
+				Model: counting,
+				Join:  plan.JoinSpec{Kind: plan.ThresholdJoin, Threshold: 0.8},
+			}
+
+			run := func() (*plan.ExecResult, time.Duration, int64, error) {
+				counting.Reset()
+				start := time.Now()
+				res, _, err := plan.Run(ctx, q, ex, opt)
+				return res, time.Since(start), counting.Calls(), err
+			}
+
+			coldRes, dCold, coldCalls, err := run()
+			if err != nil {
+				return err
+			}
+			warmRes, dWarm, warmCalls, err := run()
+			if err != nil {
+				return err
+			}
+
+			identical := sameMatches(coldRes, warmRes)
+			st := store.Stats()
+			rep := cacheReport{
+				Rows:           nr,
+				ColdMs:         float64(dCold.Microseconds()) / 1000,
+				WarmMs:         float64(dWarm.Microseconds()) / 1000,
+				Speedup:        float64(dCold) / float64(dWarm),
+				ColdModelCalls: coldCalls,
+				WarmModelCalls: warmCalls,
+				HitRatio:       st.HitRatio(),
+				StoreEntries:   st.Entries,
+				StoreBytes:     st.Bytes,
+				Identical:      identical,
+			}
+
+			t := newTable("Run", "Time [ms]", "Model calls", "Matches")
+			t.addRow("cold (empty store)", ms(dCold), fmt.Sprint(coldCalls), fmt.Sprint(len(coldRes.Matches)))
+			t.addRow("warm (shared store)", ms(dWarm), fmt.Sprint(warmCalls), fmt.Sprint(len(warmRes.Matches)))
+			t.print(w)
+			fmt.Fprintf(w, "\nSpeedup %.2fx, store hit ratio %.2f, %d entries / %d bytes resident, identical results: %v\n",
+				rep.Speedup, rep.HitRatio, st.Entries, st.Bytes, identical)
+			if warmCalls != 0 {
+				fmt.Fprintf(w, "WARNING: warm run made %d model calls; expected 0 for a fully shared corpus\n", warmCalls)
+			}
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_cache.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// stringTable wraps a string slice as a one-column table.
+func stringTable(vals []string) (*relational.Table, error) {
+	schema := relational.Schema{{Name: "text", Type: relational.String}}
+	return relational.NewTable(schema, []relational.Column{relational.StringColumn(vals)})
+}
+
+// sameMatches reports whether two executions produced the same match set
+// in the same order (executions are deterministic for scan strategies).
+func sameMatches(a, b *plan.ExecResult) bool {
+	if len(a.Matches) != len(b.Matches) {
+		return false
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,66 +2,23 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
 
+	"ejoin/internal/embstore"
 	"ejoin/internal/mat"
 	"ejoin/internal/model"
-	"ejoin/internal/vec"
 )
 
-// EmbedParallel is Embed with a worker pool: the embedding (prefetch)
+// EmbedParallel is Embed with parallel workers: the embedding (prefetch)
 // phase is embarrassingly parallel across tuples, and with an expensive
 // model it dominates end-to-end time, so the engine parallelizes it like
 // any other scan. Models must be safe for concurrent use (the Model
 // contract). Results are identical to Embed.
+//
+// Scheduling is delegated to the embstore batch scheduler: workers claim
+// fixed-size chunks from a shared queue instead of owning a static range,
+// so skewed per-input model latency load-balances across workers. The same
+// scheduler serves cache misses in the shared embedding store, keeping one
+// parallel-embedding implementation in the engine.
 func EmbedParallel(ctx context.Context, m model.Model, inputs []string, threads int) (*mat.Matrix, error) {
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	n := len(inputs)
-	if threads > n {
-		threads = n
-	}
-	if threads <= 1 {
-		return Embed(ctx, m, inputs)
-	}
-	out := mat.New(n, m.Dim())
-	errs := make([]error, threads)
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	chunk := (n + threads - 1) / threads
-	for w := 0; w < threads; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
-					errs[w] = fmt.Errorf("core: embed cancelled at row %d: %w", i, ctx.Err())
-					return
-				}
-				e, err := m.Embed(inputs[i])
-				if err != nil {
-					errs[w] = fmt.Errorf("core: embedding row %d: %w", i, err)
-					return
-				}
-				if len(e) != m.Dim() {
-					errs[w] = fmt.Errorf("core: model returned dim %d, declared %d", len(e), m.Dim())
-					return
-				}
-				vec.NormalizeInto(out.Row(i), e)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return embstore.EmbedBatch(ctx, m, inputs, embstore.BatchOptions{Threads: threads})
 }

@@ -86,13 +86,34 @@ func (p Params) NaiveENLJoin(nr, ns int) float64 {
 // PrefetchENLJoin is Cost = |R|·|S|·(A + C) + (|R|+|S|)·M: the logically
 // optimized join embedding each tuple exactly once.
 func (p Params) PrefetchENLJoin(nr, ns int) float64 {
-	return float64(nr)*float64(ns)*(p.Access+p.Compare) + float64(nr+ns)*p.Model
+	return p.PrefetchENLJoinWarm(nr, ns, 0, 0)
+}
+
+// PrefetchENLJoinWarm is PrefetchENLJoin under a warm shared embedding
+// store: hitR/hitS are the expected cache hit ratios per side, and the
+// model term M is paid only for expected misses. With a fully warm cache
+// the join cost collapses to its comparison term, which can flip the
+// planner's access path choice (scans stop being dominated by E_µ).
+func (p Params) PrefetchENLJoinWarm(nr, ns int, hitR, hitS float64) float64 {
+	return float64(nr)*float64(ns)*(p.Access+p.Compare) + p.EmbedCost(nr, hitR) + p.EmbedCost(ns, hitS)
 }
 
 // TensorJoin is the prefetched join with block-matrix execution: the same
 // asymptotic shape with the comparison constant divided by TensorSpeedup.
 func (p Params) TensorJoin(nr, ns int) float64 {
-	return float64(nr)*float64(ns)*(p.Access+p.Compare/p.TensorSpeedup) + float64(nr+ns)*p.Model
+	return p.TensorJoinWarm(nr, ns, 0, 0)
+}
+
+// TensorJoinWarm is TensorJoin with cache-discounted embedding cost.
+func (p Params) TensorJoinWarm(nr, ns int, hitR, hitS float64) float64 {
+	return float64(nr)*float64(ns)*(p.Access+p.Compare/p.TensorSpeedup) + p.EmbedCost(nr, hitR) + p.EmbedCost(ns, hitS)
+}
+
+// EmbedCost is the expected embedding cost of n tuples under a cache with
+// the given expected hit ratio: n·M·(1-hit). hit is clamped to [0, 1];
+// a cold (or absent) store is hit=0, reproducing the paper's n·M term.
+func (p Params) EmbedCost(n int, hit float64) float64 {
+	return float64(n) * p.Model * (1 - clamp01(hit))
 }
 
 // IndexProbe is Iprobe(S) for one query: beam-scaled logarithmic traversal.
@@ -112,7 +133,14 @@ func (p Params) IndexProbe(ns, k int) float64 {
 // Pre-filtering does not reduce probe cost (traversal is still paid) —
 // that asymmetry is what moves the crossovers in Figures 15-17.
 func (p Params) IndexJoin(nr, ns, k int) float64 {
-	return float64(nr)*p.IndexProbe(ns, k)*(p.Access+p.Compare) + float64(nr)*p.Model
+	return p.IndexJoinWarm(nr, ns, k, 0)
+}
+
+// IndexJoinWarm is IndexJoin with the probe side's embedding cost
+// discounted by the expected cache hit ratio (the index already stores S
+// embeddings, so only R's term is cache-sensitive).
+func (p Params) IndexJoinWarm(nr, ns, k int, hitR float64) float64 {
+	return float64(nr)*p.IndexProbe(ns, k)*(p.Access+p.Compare) + p.EmbedCost(nr, hitR)
 }
 
 // IndexBuild is the one-time construction cost over |S| tuples.
@@ -170,12 +198,21 @@ type Choice struct {
 // high selectivity over large S, and range (threshold) conditions penalize
 // the index (probes must over-fetch).
 func (p Params) ChooseJoinStrategy(nr, ns int, selLeft, selRight float64, k int, hasIndex bool) Choice {
+	return p.ChooseJoinStrategyWarm(nr, ns, selLeft, selRight, k, hasIndex, 0, 0)
+}
+
+// ChooseJoinStrategyWarm is ChooseJoinStrategy under a shared embedding
+// store: hitL/hitR are the expected cache hit ratios of the two inputs
+// (0 = cold, reproducing ChooseJoinStrategy exactly). A warm cache
+// removes the E_µ term from scan strategies but leaves probe traversal
+// untouched, shifting the scan-versus-probe crossover of Section VI-E.
+func (p Params) ChooseJoinStrategyWarm(nr, ns int, selLeft, selRight float64, k int, hasIndex bool, hitL, hitR float64) Choice {
 	fr := int(math.Ceil(float64(nr) * clamp01(selLeft)))
 	fs := int(math.Ceil(float64(ns) * clamp01(selRight)))
 
 	est := map[Strategy]float64{
-		StrategyNLJ:    p.PrefetchENLJoin(fr, fs),
-		StrategyTensor: p.TensorJoin(fr, fs),
+		StrategyNLJ:    p.PrefetchENLJoinWarm(fr, fs, hitL, hitR),
+		StrategyTensor: p.TensorJoinWarm(fr, fs, hitL, hitR),
 	}
 
 	// Index probes pay traversal over the full S (pre-filter semantics),
@@ -186,7 +223,7 @@ func (p Params) ChooseJoinStrategy(nr, ns int, selLeft, selRight float64, k int,
 		// effective k grows with how many S tuples could qualify.
 		probeK = 32
 	}
-	idxCost := p.IndexJoin(fr, ns, probeK)
+	idxCost := p.IndexJoinWarm(fr, ns, probeK, hitL)
 	if k <= 0 {
 		// Over-fetch + retry widening for range conditions.
 		idxCost *= 2

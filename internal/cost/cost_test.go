@@ -223,3 +223,50 @@ type sentinelErr string
 func (e sentinelErr) Error() string { return string(e) }
 
 var errSentinel = sentinelErr("calibration failure")
+
+func TestWarmCostsDiscountModelTerm(t *testing.T) {
+	p := DefaultParams()
+	nr, ns := 1000, 1000
+
+	if got, want := p.PrefetchENLJoinWarm(nr, ns, 0, 0), p.PrefetchENLJoin(nr, ns); got != want {
+		t.Errorf("cold warm-variant %v != legacy %v", got, want)
+	}
+	if got, want := p.TensorJoinWarm(nr, ns, 0, 0), p.TensorJoin(nr, ns); got != want {
+		t.Errorf("cold tensor warm-variant %v != legacy %v", got, want)
+	}
+	if got, want := p.IndexJoinWarm(nr, ns, 4, 0), p.IndexJoin(nr, ns, 4); got != want {
+		t.Errorf("cold index warm-variant %v != legacy %v", got, want)
+	}
+
+	// A fully warm cache removes exactly the embedding term.
+	cold := p.TensorJoin(nr, ns)
+	warm := p.TensorJoinWarm(nr, ns, 1, 1)
+	if diff := cold - warm; diff != p.EmbedCost(nr+ns, 0) {
+		t.Errorf("discount = %v, want %v", diff, p.EmbedCost(nr+ns, 0))
+	}
+	// Hit ratios outside [0,1] clamp instead of going negative.
+	if p.EmbedCost(100, 2) != 0 || p.EmbedCost(100, -1) != p.EmbedCost(100, 0) {
+		t.Error("hit ratio not clamped")
+	}
+}
+
+func TestChooseJoinStrategyWarmCanFlip(t *testing.T) {
+	p := DefaultParams()
+	// A regime where probes win cold because scans pay the model per run:
+	// small surviving R against a large indexed S, small k.
+	nr, ns, k := 2000, 2_000_000, 1
+	selL := 0.02
+	cold := p.ChooseJoinStrategyWarm(nr, ns, selL, 1, k, true, 0, 0)
+	if cold.Strategy != StrategyIndex {
+		t.Skipf("cold regime did not pick index (%v); parameters shifted", cold.Strategy)
+	}
+	warm := p.ChooseJoinStrategyWarm(nr, ns, selL, 1, k, true, 1, 1)
+	if warm.Estimates[StrategyTensor] >= cold.Estimates[StrategyTensor] {
+		t.Errorf("warm tensor estimate did not drop: %v vs %v",
+			warm.Estimates[StrategyTensor], cold.Estimates[StrategyTensor])
+	}
+	if warm.Estimates[StrategyIndex] > cold.Estimates[StrategyIndex] {
+		t.Errorf("warm index estimate rose: %v vs %v",
+			warm.Estimates[StrategyIndex], cold.Estimates[StrategyIndex])
+	}
+}

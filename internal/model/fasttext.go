@@ -102,6 +102,27 @@ func (h *HashEmbedder) Name() string {
 	return fmt.Sprintf("hash-ngram-%dd", h.dim)
 }
 
+// Fingerprint identifies the embedding function for cross-query caches:
+// unlike Name, it covers every parameter that changes output vectors
+// (seed, n-gram range, synonym clusters, cluster weight), so two
+// differently-configured embedders never share cache entries.
+func (h *HashEmbedder) Fingerprint() string {
+	// Order-independent digest of the synonym-cluster table.
+	var clusters uint64 = 14695981039346656037
+	for w, label := range h.clusterOf {
+		var pair uint64 = 14695981039346656037
+		for _, s := range []string{w, "\x00", label} {
+			for i := 0; i < len(s); i++ {
+				pair ^= uint64(s[i])
+				pair *= 1099511628211
+			}
+		}
+		clusters ^= pair // XOR is commutative: map order does not matter
+	}
+	return fmt.Sprintf("hash-ngram/%d/seed=%d/n=%d-%d/cw=%g/clusters=%x",
+		h.dim, h.seed, h.minN, h.maxN, h.clusterWeight, clusters)
+}
+
 // Embed implements Model. Multi-token inputs embed as the normalized mean of
 // per-token embeddings (bag of words), matching how word-embedding models
 // are applied to short phrases.
@@ -227,6 +248,13 @@ func (r *RandomEmbedder) Dim() int { return r.dim }
 
 // Name implements Model.
 func (r *RandomEmbedder) Name() string { return fmt.Sprintf("random-%dd", r.dim) }
+
+// Fingerprint identifies the embedding function for cross-query caches;
+// it includes the seed Name omits, so embedders over different synthetic
+// workloads never share cache entries.
+func (r *RandomEmbedder) Fingerprint() string {
+	return fmt.Sprintf("random/%d/seed=%d", r.dim, r.seed)
+}
 
 // Embed implements Model.
 func (r *RandomEmbedder) Embed(input string) ([]float32, error) {

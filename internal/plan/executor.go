@@ -7,6 +7,7 @@ import (
 
 	"ejoin/internal/core"
 	"ejoin/internal/cost"
+	"ejoin/internal/embstore"
 	"ejoin/internal/hnsw"
 	"ejoin/internal/mat"
 	"ejoin/internal/model"
@@ -20,6 +21,12 @@ type Executor struct {
 	Options core.Options
 	// IndexEf overrides probe beam width for index joins.
 	IndexEf int
+	// Store, when set, is the shared cross-query embedding store: Embed
+	// nodes are evaluated through it, so repeated queries over the same
+	// corpus reuse embeddings and concurrent queries share in-flight model
+	// calls. Stats.ModelCalls then reports actual model work (misses), not
+	// input cardinality.
+	Store *embstore.Store
 }
 
 // ExecResult is the output of executing a join plan. Matches carry global
@@ -147,12 +154,12 @@ func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*ev
 			texts[i] = col[r]
 		}
 		start := time.Now()
-		emb, err := core.EmbedParallel(ctx, t.Model, texts, ex.Options.Threads)
+		emb, calls, err := ex.embed(ctx, t.Model, texts)
 		if err != nil {
 			return nil, err
 		}
 		in.embedTime += time.Since(start)
-		in.modelCalls += int64(len(texts))
+		in.modelCalls += calls
 		in.embeddings = emb
 		return in, nil
 
@@ -327,6 +334,25 @@ func (ex *Executor) naiveJoin(ctx context.Context, j *EJoin, left, right *evalua
 	return res, nil
 }
 
+// embed evaluates E_µ over texts: through the shared store when one is
+// attached (cache hits and merged in-flight calls skip the model), through
+// the parallel scheduler otherwise. Returns the embeddings and the number
+// of model calls actually performed.
+func (ex *Executor) embed(ctx context.Context, m model.Model, texts []string) (*mat.Matrix, int64, error) {
+	if ex.Store != nil {
+		emb, bs, err := ex.Store.EmbedAll(ctx, m, texts, embstore.BatchOptions{Threads: ex.Options.Threads})
+		if err != nil {
+			return nil, bs.ModelCalls, err
+		}
+		return emb, bs.ModelCalls, nil
+	}
+	emb, err := core.EmbedParallel(ctx, m, texts, ex.Options.Threads)
+	if err != nil {
+		return nil, 0, err
+	}
+	return emb, int64(len(texts)), nil
+}
+
 // ensureEmbedded embeds in's surviving texts when embeddings are missing.
 func (ex *Executor) ensureEmbedded(ctx context.Context, n Node, in *evaluatedInput) error {
 	if in.embeddings != nil {
@@ -339,12 +365,12 @@ func (ex *Executor) ensureEmbedded(ctx context.Context, n Node, in *evaluatedInp
 	if mdl == nil {
 		return fmt.Errorf("plan: input %q has neither embeddings nor a model", in.ref.Name)
 	}
-	emb, err := core.Embed(ctx, mdl, texts)
+	emb, calls, err := ex.embed(ctx, mdl, texts)
 	if err != nil {
 		return err
 	}
 	in.embeddings = emb
-	in.modelCalls += int64(len(texts))
+	in.modelCalls += calls
 	return nil
 }
 

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"ejoin/internal/cost"
+	"ejoin/internal/embstore"
 	"ejoin/internal/relational"
 )
 
@@ -16,6 +17,11 @@ type Optimizer struct {
 	DisableReorder  bool
 	// ForceStrategy, if not nil, bypasses cost-based selection.
 	ForceStrategy *cost.Strategy
+	// Store, when set, makes access path selection cache-aware: the
+	// optimizer samples each input's text column against the shared
+	// embedding store and discounts the E_µ cost term by the observed hit
+	// ratio, so a warm cache can flip the scan-versus-probe choice.
+	Store *embstore.Store
 }
 
 // NewOptimizer returns an optimizer with default cost parameters.
@@ -70,7 +76,8 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 			k = out.Spec.K
 		}
 		baseL, baseR := baseRows(out.Left), baseRows(out.Right)
-		choice := params.ChooseJoinStrategy(baseL, baseR, selL, selR, k, hasIndex(out.Right))
+		hitL, hitR := o.expectedHitRatio(out.Left), o.expectedHitRatio(out.Right)
+		choice := params.ChooseJoinStrategyWarm(baseL, baseR, selL, selR, k, hasIndex(out.Right), hitL, hitR)
 		// An index join without an index would have to build one; allow it
 		// only when the right side actually carries an index.
 		if choice.Strategy == cost.StrategyIndex && !hasIndex(out.Right) {
@@ -146,6 +153,53 @@ func estimateSelectivity(n Node) float64 {
 		return 1
 	}
 	return float64(estimateRows(n)) / float64(base)
+}
+
+// expectedHitRatio estimates how much of one input's E_µ work the shared
+// store will absorb, by probing a uniform sample of the column against the
+// cache (Contains does not promote entries or touch statistics). Inputs
+// with precomputed vector columns have no Embed node and return 0 — their
+// cost model carries no M term to discount.
+func (o *Optimizer) expectedHitRatio(n Node) float64 {
+	if o.Store == nil {
+		return 0
+	}
+	var em *Embed
+	for cur := n; cur != nil; {
+		switch t := cur.(type) {
+		case *Embed:
+			em = t
+			cur = t.Input
+		case *Filter:
+			cur = t.Input
+		default:
+			cur = nil
+		}
+	}
+	if em == nil || em.Model == nil {
+		return 0
+	}
+	s := findScan(n)
+	if s == nil || s.Ref.Table == nil {
+		return 0
+	}
+	texts, err := s.Ref.Table.Strings(em.Column)
+	if err != nil || len(texts) == 0 {
+		return 0
+	}
+	const samples = 64
+	stride := len(texts) / samples
+	if stride < 1 {
+		stride = 1
+	}
+	seen, hit := 0, 0
+	for i := 0; i < len(texts); i += stride {
+		seen++
+		if o.Store.Contains(em.Model, texts[i]) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(seen)
 }
 
 func findScan(n Node) *Scan {

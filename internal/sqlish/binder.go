@@ -199,6 +199,13 @@ func parseAnyTime(s string) (time.Time, error) {
 
 // Run parses, binds, optimizes, and executes a query in one call.
 func Run(ctx context.Context, input string, c *Catalog, m model.Model) (*plan.ExecResult, plan.Query, error) {
+	return RunWith(ctx, input, c, m, nil, nil)
+}
+
+// RunWith is Run with a caller-supplied executor and optimizer, the hook
+// a long-lived process uses to share one embedding store (and its warm
+// cache) across every query it serves. Pass nil for defaults.
+func RunWith(ctx context.Context, input string, c *Catalog, m model.Model, ex *plan.Executor, opt *plan.Optimizer) (*plan.ExecResult, plan.Query, error) {
 	stmt, err := Parse(input)
 	if err != nil {
 		return nil, plan.Query{}, err
@@ -207,6 +214,6 @@ func Run(ctx context.Context, input string, c *Catalog, m model.Model) (*plan.Ex
 	if err != nil {
 		return nil, plan.Query{}, err
 	}
-	res, _, err := plan.Run(ctx, q, nil, nil)
+	res, _, err := plan.Run(ctx, q, ex, opt)
 	return res, q, err
 }

@@ -1,0 +1,69 @@
+package ejoin_test
+
+import (
+	"context"
+	"testing"
+
+	"ejoin"
+)
+
+// TestPublicStoreAPI exercises the exported embedding-store surface: build
+// a store, run the same query twice through a store-backed executor and
+// optimizer, and watch the model fall off the warm path.
+func TestPublicStoreAPI(t *testing.T) {
+	inner, err := ejoin.NewHashModel(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ejoin.NewEmbedStore(ejoin.EmbedStoreConfig{MaxBytes: 8 << 20})
+	exec := ejoin.NewStoreExecutor(store)
+	opt := ejoin.NewStoreOptimizer(store)
+
+	mkTable := func(vals []string) *ejoin.Table {
+		tbl, err := ejoin.NewTable(
+			ejoin.Schema{{Name: "name", Type: ejoin.StringType}},
+			[]ejoin.Column{ejoin.StringColumn(vals)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	q := ejoin.Query{
+		Left:  ejoin.TableRef{Name: "L", Table: mkTable([]string{"barbecue", "database"}), TextColumn: "name"},
+		Right: ejoin.TableRef{Name: "R", Table: mkTable([]string{"barbecues", "databases", "giraffe"}), TextColumn: "name"},
+		Model: inner,
+		Join:  ejoin.JoinSpec{Kind: ejoin.ThresholdJoin, Threshold: 0.5},
+	}
+	ctx := context.Background()
+
+	cold, _, err := ejoin.Run(ctx, q, exec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := ejoin.Run(ctx, q, exec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.ModelCalls != 0 {
+		t.Errorf("warm run reported %d model calls, want 0", warm.Stats.ModelCalls)
+	}
+	if len(cold.Matches) != len(warm.Matches) {
+		t.Errorf("matches differ: cold %d, warm %d", len(cold.Matches), len(warm.Matches))
+	}
+	st := store.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Errorf("store stats look wrong: %+v", st)
+	}
+
+	// The model-shaped view shares the same cache: wrapping the same inner
+	// model keeps everything warm.
+	cm := ejoin.NewCachingModel(inner, store)
+	before := store.Stats().ModelCalls
+	if _, err := cm.Embed("barbecue"); err != nil {
+		t.Fatal(err)
+	}
+	if after := store.Stats().ModelCalls; after != before {
+		t.Errorf("caching model re-embedded a cached input (%d -> %d calls)", before, after)
+	}
+}
