@@ -1,0 +1,90 @@
+// Command ejserve exposes the concurrent query engine over HTTP/JSON: a
+// long-lived process holding one shared embedding store, a named-table
+// catalog, a prepared-plan cache, and an admission controller, serving
+// context-enhanced joins to concurrent clients.
+//
+//	ejserve -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/tables -d '{
+//	  "name": "catalog", "schema": "sku:int,name:text",
+//	  "csv": "sku,name\n1,barbecue\n2,database\n"}'
+//	curl -s -X POST localhost:8080/query -d '{
+//	  "sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.6"}'
+//	curl -s localhost:8080/stats
+//
+// Endpoints: POST /query (sqlish text or structured join spec), POST
+// /tables (CSV ingest), GET /tables, DELETE /tables/{name}, GET /stats,
+// GET /healthz. SIGINT/SIGTERM drain in-flight queries before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ejoin/internal/service"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		dim            = flag.Int("dim", 100, "embedding dimensionality of the built-in hash model")
+		storeBytes     = flag.Int64("store-bytes", 256<<20, "embedding store budget in bytes")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+		admissionBytes = flag.Int64("admission-bytes", 1<<30, "admission budget over estimated intermediate bytes")
+		timeout        = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms (0 = uncapped)")
+		planCache      = flag.Int("plan-cache", 256, "prepared query cache entries")
+		threads        = flag.Int("threads", 0, "per-query worker threads (0 = GOMAXPROCS)")
+		drain          = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+
+	engine, err := service.NewEngine(service.Config{
+		Dim:            *dim,
+		StoreBytes:     *storeBytes,
+		MaxConcurrent:  *maxConcurrent,
+		AdmissionBytes: *admissionBytes,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		PlanCacheSize:  *planCache,
+		Threads:        *threads,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ejserve:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(engine)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("ejserve: listening on %s", *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ejserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("ejserve: shutting down, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ejserve: drain incomplete: %v", err)
+		}
+	}
+}

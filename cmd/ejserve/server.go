@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/relational"
+	"ejoin/internal/service"
+)
+
+// maxBodyBytes bounds request bodies (queries and CSV uploads).
+const maxBodyBytes = 64 << 20
+
+// server wraps an Engine with the HTTP/JSON surface.
+type server struct {
+	engine *service.Engine
+	mux    *http.ServeMux
+}
+
+func newServer(e *service.Engine) *server {
+	s := &server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /tables", s.handleListTables)
+	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders one response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.Tables()})
+}
+
+// createTableRequest ingests one CSV table:
+//
+//	{"name": "catalog", "schema": "sku:int,name:text", "csv": "sku,name\n1,barbecue\n"}
+//
+// Alternatively POST /tables?name=catalog&schema=sku:int,name:text with a
+// text/csv body.
+type createTableRequest struct {
+	Name   string `json:"name"`
+	Schema string `json:"schema"`
+	CSV    string `json:"csv"`
+}
+
+func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req createTableRequest
+	var csvSrc io.Reader
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		req.Name = r.URL.Query().Get("name")
+		req.Schema = r.URL.Query().Get("schema")
+		csvSrc = r.Body // stream: no point buffering a large upload
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	} else {
+		csvSrc = strings.NewReader(req.CSV)
+	}
+	if req.Name == "" || req.Schema == "" {
+		writeError(w, http.StatusBadRequest, "name and schema are required")
+		return
+	}
+	schema, err := parseSchema(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, err := s.engine.RegisterCSV(req.Name, schema, csvSrc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows})
+}
+
+func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.engine.DropTable(name) {
+		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+// queryRequest is the /query body: sqlish text or a structured join.
+type queryRequest struct {
+	SQL         string               `json:"sql,omitempty"`
+	Join        *service.JoinRequest `json:"join,omitempty"`
+	TimeoutMs   int64                `json:"timeout_ms,omitempty"`
+	Limit       int                  `json:"limit,omitempty"`
+	IncludeRows bool                 `json:"include_rows,omitempty"`
+}
+
+// matchJSON is one join match on the wire.
+type matchJSON struct {
+	Left  int     `json:"left"`
+	Right int     `json:"right"`
+	Sim   float32 `json:"sim"`
+}
+
+// queryResponse is the /query result.
+type queryResponse struct {
+	Strategy      string           `json:"strategy"`
+	Matches       []matchJSON      `json:"matches"`
+	Rows          []map[string]any `json:"rows,omitempty"`
+	Stats         core.Stats       `json:"stats"`
+	PlanCacheHit  bool             `json:"plan_cache_hit"`
+	AdmittedBytes int64            `json:"admitted_bytes"`
+	ElapsedMs     float64          `json:"elapsed_ms"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	res, err := s.engine.Query(r.Context(), service.QueryRequest{
+		SQL:         req.SQL,
+		Join:        req.Join,
+		Timeout:     time.Duration(req.TimeoutMs) * time.Millisecond,
+		Limit:       req.Limit,
+		Materialize: req.IncludeRows,
+	})
+	if err != nil {
+		writeError(w, statusForQueryError(r, err), "%v", err)
+		return
+	}
+	resp := queryResponse{
+		Strategy:      res.Strategy,
+		Matches:       make([]matchJSON, len(res.Matches)),
+		Stats:         res.Stats,
+		PlanCacheHit:  res.PlanCacheHit,
+		AdmittedBytes: res.AdmittedBytes,
+		ElapsedMs:     float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	for i, m := range res.Matches {
+		resp.Matches[i] = matchJSON{Left: m.Left, Right: m.Right, Sim: m.Sim}
+	}
+	if res.Table != nil {
+		resp.Rows = tableRows(res.Table)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusForQueryError maps engine failures to HTTP statuses: request
+// faults (parse, bind, spec validation — service.IsBadRequest) are 400,
+// server-imposed deadlines 504, client disconnects 400, anything else —
+// execution failures, materialization — 500.
+func statusForQueryError(r *http.Request, err error) int {
+	switch {
+	case r.Context().Err() != nil:
+		return http.StatusBadRequest // client went away
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case service.IsBadRequest(err):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// tableRows renders a materialized result table as JSON objects.
+func tableRows(t *relational.Table) []map[string]any {
+	out := make([]map[string]any, t.NumRows())
+	schema := t.Schema()
+	for r := 0; r < t.NumRows(); r++ {
+		row := make(map[string]any, len(schema))
+		for c, f := range schema {
+			switch col := t.ColumnAt(c).(type) {
+			case relational.Int64Column:
+				row[f.Name] = col[r]
+			case relational.Float64Column:
+				row[f.Name] = col[r]
+			case relational.StringColumn:
+				row[f.Name] = col[r]
+			case relational.BoolColumn:
+				row[f.Name] = col[r]
+			case relational.TimeColumn:
+				row[f.Name] = col[r].Format(time.RFC3339)
+			case *relational.VectorColumn:
+				row[f.Name] = col.Row(r)
+			}
+		}
+		out[r] = row
+	}
+	return out
+}
+
+// parseSchema parses "col:type,col:type" (types: int, float, text, time,
+// bool), the same shape cmd/ejsql accepts.
+func parseSchema(spec string) (relational.Schema, error) {
+	var schema relational.Schema
+	for _, part := range strings.Split(spec, ",") {
+		col, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("schema field %q: want col:type", part)
+		}
+		var t relational.Type
+		switch strings.ToLower(typ) {
+		case "int":
+			t = relational.Int64
+		case "float":
+			t = relational.Float64
+		case "text", "string":
+			t = relational.String
+		case "time", "date":
+			t = relational.Time
+		case "bool":
+			t = relational.Bool
+		default:
+			return nil, fmt.Errorf("schema field %q: unknown type %q", part, typ)
+		}
+		schema = append(schema, relational.Field{Name: col, Type: t})
+	}
+	return schema, nil
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ejoin/internal/service"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine, err := service.NewEngine(service.Config{Dim: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(engine))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func ingestPair(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for name, csv := range map[string]string{
+		"catalog": "sku,name\n1,barbecue\n2,database\n3,clothes\n",
+		"feed":    "title\nbarbecues\ndatabases\nclothing\ngiraffe\n",
+	} {
+		schema := "title:text"
+		if name == "catalog" {
+			schema = "sku:int,name:text"
+		}
+		body, _ := json.Marshal(map[string]string{"name": name, "schema": schema, "csv": csv})
+		status, resp := doJSON(t, http.MethodPost, ts.URL+"/tables", string(body))
+		if status != http.StatusCreated {
+			t.Fatalf("ingest %s: status %d, body %v", name, status, resp)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: %d %v", status, body)
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	status, body := doJSON(t, http.MethodGet, ts.URL+"/tables", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %v", status, body)
+	}
+	tables := body["tables"].([]any)
+	if len(tables) != 2 {
+		t.Errorf("tables = %v, want 2 entries", tables)
+	}
+
+	// CSV body variant.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/tables?name=extra&schema=s:text", strings.NewReader("s\nhello\n"))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("csv-body ingest: status %d", resp.StatusCode)
+	}
+
+	status, _ = doJSON(t, http.MethodDelete, ts.URL+"/tables/extra", "")
+	if status != http.StatusOK {
+		t.Errorf("drop: status %d", status)
+	}
+	status, _ = doJSON(t, http.MethodDelete, ts.URL+"/tables/extra", "")
+	if status != http.StatusNotFound {
+		t.Errorf("double drop: status %d, want 404", status)
+	}
+
+	for name, body := range map[string]string{
+		"missing name":   `{"schema": "s:text", "csv": "s\nx\n"}`,
+		"bad schema":     `{"name": "t", "schema": "s;text", "csv": "s\nx\n"}`,
+		"bad type":       `{"name": "t", "schema": "s:blob", "csv": "s\nx\n"}`,
+		"malformed csv":  `{"name": "t", "schema": "s:text,k:int", "csv": "s\nonly-one-col\n"}`,
+		"malformed json": `{`,
+	} {
+		status, _ := doJSON(t, http.MethodPost, ts.URL+"/tables", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	q := `{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35", "include_rows": true}`
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/query", q)
+	if status != http.StatusOK {
+		t.Fatalf("query: %d %v", status, body)
+	}
+	matches := body["matches"].([]any)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	rows := body["rows"].([]any)
+	if len(rows) != len(matches) {
+		t.Errorf("rows %d != matches %d", len(rows), len(matches))
+	}
+	row := rows[0].(map[string]any)
+	if _, ok := row["similarity"]; !ok {
+		t.Errorf("row lacks similarity: %v", row)
+	}
+	if body["strategy"] == "" {
+		t.Error("empty strategy")
+	}
+
+	// Warm repeat should hit the plan cache.
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/query", q)
+	if status != http.StatusOK || body["plan_cache_hit"] != true {
+		t.Errorf("repeat: %d plan_cache_hit=%v", status, body["plan_cache_hit"])
+	}
+
+	// Structured join.
+	jq := `{"join": {"left_table": "catalog", "left_column": "name", "right_table": "feed", "right_column": "title", "kind": "topk", "k": 1}}`
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/query", jq)
+	if status != http.StatusOK {
+		t.Fatalf("structured query: %d %v", status, body)
+	}
+	if len(body["matches"].([]any)) != 3 {
+		t.Errorf("top-1 per left row: %d matches, want 3", len(body["matches"].([]any)))
+	}
+
+	for name, q := range map[string]string{
+		"parse error":   `{"sql": "SELECT FROM"}`,
+		"unknown table": `{"sql": "SELECT * FROM nope JOIN feed ON SIM(nope.x, feed.title) >= 0.5"}`,
+		"empty":         `{}`,
+		"bad json":      `{`,
+	} {
+		status, _ := doJSON(t, http.MethodPost, ts.URL+"/query", q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	// Concurrent clients against one engine; then stats must reflect them.
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := `{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(q))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	status, body := doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	if q := body["queries"].(float64); q != clients {
+		t.Errorf("queries = %v, want %d", q, clients)
+	}
+	if body["tables"].(float64) != 2 {
+		t.Errorf("tables = %v, want 2", body["tables"])
+	}
+	store := body["store"].(map[string]any)
+	if store["entries"].(float64) == 0 {
+		t.Errorf("store entries = %v, want > 0", store["entries"])
+	}
+}

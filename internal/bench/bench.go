@@ -99,6 +99,7 @@ func Registry() []Experiment {
 		expFP16(),
 		expModelCache(),
 		expCache(),
+		expServe(),
 		expBlockSize(),
 		expHNSWRecall(),
 		expIVF(),

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ejoin/internal/model"
+	"ejoin/internal/service"
+	"ejoin/internal/workload"
+)
+
+// servePhase is one load phase (cold or warm store) of the serve
+// experiment.
+type servePhase struct {
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	ModelCalls int64   `json:"model_calls"`
+}
+
+// serveReport is the machine-readable result, written to BENCH_serve.json.
+type serveReport struct {
+	Clients        int        `json:"clients"`
+	RequestsTotal  int        `json:"requests_total"`
+	RowsPerSide    int        `json:"rows_per_side"`
+	Cold           servePhase `json:"cold"`
+	Warm           servePhase `json:"warm"`
+	PlanCacheHits  int64      `json:"plan_cache_hits"`
+	AdmissionWaits int64      `json:"admission_waits"`
+	Errors         int64      `json:"errors"`
+}
+
+// expServe measures the query service under concurrent load: 8 clients
+// against one in-process Engine, cold store then warm. The warm phase
+// must make zero model calls (the corpus is fully cached) and its tail
+// latency shows what the shared store buys every request after the first
+// wave.
+func expServe() Experiment {
+	return Experiment{
+		Name:        "serve",
+		Paper:       "Service (new)",
+		Description: "Concurrent clients against an in-process Engine: QPS and p50/p95/p99 latency, cold vs warm store.",
+		Run: func(w io.Writer, cfg Config) error {
+			const clients = 8
+			perClient := 12
+			if cfg.Quick {
+				perClient = 4
+			}
+			rows := cfg.size(240)
+
+			base, err := model.NewHashEmbedder(100)
+			if err != nil {
+				return err
+			}
+			// Per-call latency puts the model on the critical path, the
+			// regime a serving deployment faces with real models.
+			counting := model.NewCountingModel(model.NewLatencyModel(base, 20*time.Microsecond))
+
+			engine, err := service.NewEngine(service.Config{
+				Model:   counting,
+				Store:   cfg.Store,
+				Threads: cfg.threads(),
+			})
+			if err != nil {
+				return err
+			}
+			engine.Store().Reset() // the experiment owns cold-vs-warm transitions
+			lt, err := stringTable(workload.Strings(cfg.Seed, rows, nil))
+			if err != nil {
+				return err
+			}
+			rt, err := stringTable(workload.Strings(cfg.Seed+1, rows, nil))
+			if err != nil {
+				return err
+			}
+			if err := engine.RegisterTable("left", lt); err != nil {
+				return err
+			}
+			if err := engine.RegisterTable("right", rt); err != nil {
+				return err
+			}
+
+			// A small set of distinct query texts: the plan cache absorbs
+			// parse+bind after each text's first arrival.
+			queries := []string{
+				"SELECT * FROM left JOIN right ON SIM(left.text, right.text) >= 0.80",
+				"SELECT * FROM left JOIN right ON SIM(left.text, right.text) >= 0.85",
+				"SELECT * FROM left JOIN right ON TOPK(left.text, right.text, 3)",
+			}
+
+			phase := func() (servePhase, error) {
+				counting.Reset()
+				latencies := make([][]time.Duration, clients)
+				var wg sync.WaitGroup
+				errs := make(chan error, clients)
+				start := time.Now()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for i := 0; i < perClient; i++ {
+							q := queries[(c+i)%len(queries)]
+							t0 := time.Now()
+							if _, err := engine.Query(context.Background(), service.QueryRequest{SQL: q}); err != nil {
+								errs <- err
+								return
+							}
+							latencies[c] = append(latencies[c], time.Since(t0))
+						}
+					}(c)
+				}
+				wg.Wait()
+				wall := time.Since(start)
+				close(errs)
+				for err := range errs {
+					return servePhase{}, err
+				}
+				var all []time.Duration
+				for _, l := range latencies {
+					all = append(all, l...)
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				return servePhase{
+					QPS:        float64(len(all)) / wall.Seconds(),
+					P50Ms:      pctMs(all, 0.50),
+					P95Ms:      pctMs(all, 0.95),
+					P99Ms:      pctMs(all, 0.99),
+					ModelCalls: counting.Calls(),
+				}, nil
+			}
+
+			cold, err := phase()
+			if err != nil {
+				return err
+			}
+			warm, err := phase()
+			if err != nil {
+				return err
+			}
+
+			st := engine.Stats()
+			rep := serveReport{
+				Clients:        clients,
+				RequestsTotal:  2 * clients * perClient,
+				RowsPerSide:    rows,
+				Cold:           cold,
+				Warm:           warm,
+				PlanCacheHits:  st.PlanCacheHits,
+				AdmissionWaits: st.AdmissionWaits,
+				Errors:         st.Errors,
+			}
+
+			t := newTable("Phase", "QPS", "p50 [ms]", "p95 [ms]", "p99 [ms]", "Model calls")
+			t.addRow("cold (empty store)", fmt.Sprintf("%.1f", cold.QPS),
+				fmt.Sprintf("%.2f", cold.P50Ms), fmt.Sprintf("%.2f", cold.P95Ms),
+				fmt.Sprintf("%.2f", cold.P99Ms), fmt.Sprint(cold.ModelCalls))
+			t.addRow("warm (shared store)", fmt.Sprintf("%.1f", warm.QPS),
+				fmt.Sprintf("%.2f", warm.P50Ms), fmt.Sprintf("%.2f", warm.P95Ms),
+				fmt.Sprintf("%.2f", warm.P99Ms), fmt.Sprint(warm.ModelCalls))
+			t.print(w)
+			fmt.Fprintf(w, "\n%d clients x %d requests, plan cache hits %d, admission waits %d, errors %d\n",
+				clients, 2*perClient, st.PlanCacheHits, st.AdmissionWaits, st.Errors)
+			if warm.ModelCalls != 0 {
+				fmt.Fprintf(w, "WARNING: warm phase made %d model calls; expected 0 for a fully shared corpus\n", warm.ModelCalls)
+			}
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_serve.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// pctMs is the p-th percentile of sorted durations, in milliseconds.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1000
+}

@@ -63,17 +63,17 @@ type Match struct {
 type Stats struct {
 	// ModelCalls is the number of Embed invocations attributable to the
 	// operator (quadratic for NaiveNLJ, linear for prefetch).
-	ModelCalls int64
+	ModelCalls int64 `json:"model_calls"`
 	// Comparisons is the number of vector pair comparisons.
-	Comparisons int64
+	Comparisons int64 `json:"comparisons"`
 	// Blocks is the number of tensor mini-batches computed.
-	Blocks int
+	Blocks int `json:"blocks"`
 	// PeakIntermediateBytes is the largest similarity block materialized.
-	PeakIntermediateBytes int64
+	PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
 	// EmbedTime is time spent in the model (prefetch phase).
-	EmbedTime time.Duration
+	EmbedTime time.Duration `json:"embed_time_ns"`
 	// JoinTime is time spent comparing/joining.
-	JoinTime time.Duration
+	JoinTime time.Duration `json:"join_time_ns"`
 }
 
 // Result is the output of a join operator.
@@ -91,6 +91,12 @@ func (r *Result) Pairs() []relational.Pair {
 	}
 	return out
 }
+
+// cancelStride is how many inner-loop comparisons a scan operator runs
+// between context checks: frequent enough that cancellation and deadlines
+// propagate mid-join even when one left row faces a huge right side, rare
+// enough that the atomic load in ctx.Err() stays off the hot path.
+const cancelStride = 4096
 
 // sortMatches orders matches by (Left, Right) for deterministic output
 // regardless of parallel execution order.

@@ -49,6 +49,7 @@ func NLJF16(ctx context.Context, left, right *mat.F16Matrix, threshold float32, 
 			}
 			var local []Match
 			var cmp int64
+			sinceCheck := 0
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
 					return
@@ -58,6 +59,12 @@ func NLJF16(ctx context.Context, left, right *mat.F16Matrix, threshold float32, 
 				}
 				li := left.Row(i)
 				for j := 0; j < right.Rows(); j++ {
+					if sinceCheck++; sinceCheck >= cancelStride {
+						sinceCheck = 0
+						if ctx.Err() != nil {
+							return
+						}
+					}
 					if opts.RightFilter != nil && !opts.RightFilter.Get(j) {
 						continue
 					}

@@ -50,6 +50,11 @@ func NaiveNLJ(ctx context.Context, m model.Model, left, right []string, threshol
 			continue
 		}
 		for j, rs := range right {
+			// Every pair costs two model calls, so a per-pair check is
+			// negligible and lets cancellation interrupt a single left row.
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: naive nlj cancelled at pair (%d,%d): %w", i, j, err)
+			}
 			if opts.RightFilter != nil && !opts.RightFilter.Get(j) {
 				continue
 			}
@@ -107,6 +112,7 @@ func NLJ(ctx context.Context, left, right *mat.Matrix, threshold float32, opts O
 			}
 			var local []Match
 			var cmp int64
+			sinceCheck := 0
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
 					return
@@ -116,6 +122,12 @@ func NLJ(ctx context.Context, left, right *mat.Matrix, threshold float32, opts O
 				}
 				li := left.Row(i)
 				for j := 0; j < right.Rows(); j++ {
+					if sinceCheck++; sinceCheck >= cancelStride {
+						sinceCheck = 0
+						if ctx.Err() != nil {
+							return
+						}
+					}
 					if opts.RightFilter != nil && !opts.RightFilter.Get(j) {
 						continue
 					}

@@ -50,21 +50,21 @@ type Config struct {
 // Stats is the store's observability surface.
 type Stats struct {
 	// Hits is the number of lookups served from the cache.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses is the number of lookups that triggered a model call.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Merged is the number of lookups that joined another caller's
 	// in-flight model call (single-flight deduplication) or a duplicate
 	// within one batch.
-	Merged int64
+	Merged int64 `json:"merged"`
 	// Evictions is the number of entries evicted by the LRU policy.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// ModelCalls is the number of Model.Embed invocations the store made.
-	ModelCalls int64
+	ModelCalls int64 `json:"model_calls"`
 	// Entries is the current number of cached embeddings.
-	Entries int
+	Entries int `json:"entries"`
 	// Bytes is the current resident size (vectors + keys + overhead).
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 }
 
 // HitRatio is Hits / (Hits + Misses + Merged), the fraction of lookups

@@ -57,6 +57,9 @@ type evaluatedInput struct {
 // predicts, which is how the experiments quantify what the rewrites buy.
 func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) {
 	evalEmbeds := j.Strategy != cost.StrategyNaiveNLJ
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan: execute cancelled: %w", err)
+	}
 	left, err := ex.evalInput(ctx, j.Left, evalEmbeds)
 	if err != nil {
 		return nil, fmt.Errorf("plan: evaluating left input: %w", err)
@@ -64,6 +67,11 @@ func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) 
 	right, err := ex.evalInput(ctx, j.Right, evalEmbeds)
 	if err != nil {
 		return nil, fmt.Errorf("plan: evaluating right input: %w", err)
+	}
+	// Checkpoint between prefetch and join: a request cancelled while
+	// embedding must not start the (potentially large) comparison phase.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan: execute cancelled after prefetch: %w", err)
 	}
 
 	res, err := ex.join(ctx, j, left, right)

@@ -1,0 +1,44 @@
+package plan
+
+import (
+	"ejoin/internal/core"
+	"ejoin/internal/cost"
+	"ejoin/internal/mat"
+)
+
+// EstimateFootprint estimates the peak resident bytes executing j will
+// pin: the prefetched embedding matrices of both (post-filter) inputs
+// plus, for the tensor strategy, the largest similarity block the blocked
+// GEMM materializes under the executor's batching options. dim is the
+// embedding dimensionality (the model's, or the vector column's).
+//
+// This is the weight a serving layer charges against its admission
+// budget before letting the query execute: it bounds aggregate memory
+// pressure across concurrent queries using the same estimates the cost
+// model plans with, not runtime measurements taken too late to help.
+func EstimateFootprint(j *EJoin, dim int, opts core.Options) int64 {
+	if j == nil {
+		return 0
+	}
+	lr, rr := estimateRows(j.Left), estimateRows(j.Right)
+	if dim < 1 {
+		dim = 1
+	}
+	bytes := int64(lr+rr) * int64(dim) * 4
+	if j.Strategy == cost.StrategyTensor || j.Strategy == cost.StrategyNLJ {
+		// Top-k scans and threshold tensor joins share the blocked kernel;
+		// NLJ's intermediate is one row of partial matches, counted as one
+		// block row for headroom.
+		batch := mat.BatchOptions{
+			BudgetBytes: opts.BudgetBytes,
+			BatchRows:   opts.BatchRows,
+			BatchCols:   opts.BatchCols,
+		}
+		if j.Strategy == cost.StrategyTensor {
+			bytes += mat.PeakBlockBytes(lr, rr, batch)
+		} else {
+			bytes += int64(rr) * 4
+		}
+	}
+	return bytes
+}

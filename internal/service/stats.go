@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/embstore"
+)
+
+// counters holds the engine's mutable statistics. Scalar counts are
+// atomics; the aggregated join stats and per-strategy counts are guarded
+// by a mutex (they are multi-field updates).
+type counters struct {
+	queries        atomic.Int64
+	errors         atomic.Int64
+	rejected       atomic.Int64
+	admissionWaits atomic.Int64
+	inFlight       atomic.Int64
+
+	mu         sync.Mutex
+	join       core.Stats
+	strategies map[string]int64
+}
+
+// recordExecution folds one successful execution into the aggregates.
+func (e *Engine) recordExecution(strategy string, s core.Stats) {
+	c := &e.counters
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.join.ModelCalls += s.ModelCalls
+	c.join.Comparisons += s.Comparisons
+	c.join.Blocks += s.Blocks
+	c.join.EmbedTime += s.EmbedTime
+	c.join.JoinTime += s.JoinTime
+	if s.PeakIntermediateBytes > c.join.PeakIntermediateBytes {
+		c.join.PeakIntermediateBytes = s.PeakIntermediateBytes
+	}
+	if c.strategies == nil {
+		c.strategies = make(map[string]int64)
+	}
+	c.strategies[strategy]++
+}
+
+// ServerStats is the engine's aggregated observability surface: request
+// counters, admission state, plan-cache behavior, cumulative executor
+// work, and the shared store's statistics.
+type ServerStats struct {
+	// Uptime is time since the engine was built.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Queries is the number of successfully served queries.
+	Queries int64 `json:"queries"`
+	// Errors counts failed queries (parse, bind, execution, deadline).
+	Errors int64 `json:"errors"`
+	// Rejected counts queries whose context ended while waiting for
+	// admission (a subset of Errors).
+	Rejected int64 `json:"rejected"`
+	// InFlight is the number of queries currently executing.
+	InFlight int64 `json:"in_flight"`
+	// AdmissionWaits counts queries that had to queue for a slot or for
+	// byte budget before executing.
+	AdmissionWaits int64 `json:"admission_waits"`
+	// AdmittedBytes is the intermediate-footprint weight currently held.
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	// AdmissionWaiting is the number of queries queued right now.
+	AdmissionWaiting int `json:"admission_waiting"`
+	// PlanCacheHits/Misses/Invalidations/Entries describe the prepared
+	// query cache (invalidations are generation mismatches after catalog
+	// changes).
+	PlanCacheHits          int64 `json:"plan_cache_hits"`
+	PlanCacheMisses        int64 `json:"plan_cache_misses"`
+	PlanCacheInvalidations int64 `json:"plan_cache_invalidations"`
+	PlanCacheEntries       int   `json:"plan_cache_entries"`
+	// Tables is the current catalog size.
+	Tables int `json:"tables"`
+	// Join is the cumulative executor work across all served queries
+	// (PeakIntermediateBytes is the high-water mark, not a sum).
+	Join core.Stats `json:"join"`
+	// Strategies counts executions per physical strategy.
+	Strategies map[string]int64 `json:"strategies"`
+	// Store is the shared embedding store's statistics.
+	Store embstore.Stats `json:"store"`
+}
+
+// Stats snapshots the engine's statistics.
+func (e *Engine) Stats() ServerStats {
+	c := &e.counters
+	hits, misses, invalidations, entries := e.plans.snapshot()
+	st := ServerStats{
+		Uptime:                 time.Since(e.start),
+		Queries:                c.queries.Load(),
+		Errors:                 c.errors.Load(),
+		Rejected:               c.rejected.Load(),
+		InFlight:               c.inFlight.Load(),
+		AdmissionWaits:         c.admissionWaits.Load(),
+		AdmittedBytes:          e.bytes.InUse(),
+		AdmissionWaiting:       e.bytes.Waiting(),
+		PlanCacheHits:          hits,
+		PlanCacheMisses:        misses,
+		PlanCacheInvalidations: invalidations,
+		PlanCacheEntries:       entries,
+		Tables:                 e.catalog.Len(),
+		Store:                  e.store.Stats(),
+	}
+	c.mu.Lock()
+	st.Join = c.join
+	st.Strategies = make(map[string]int64, len(c.strategies))
+	for k, v := range c.strategies {
+		st.Strategies[k] = v
+	}
+	c.mu.Unlock()
+	return st
+}

@@ -3,7 +3,9 @@ package sqlish
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ejoin/internal/model"
@@ -11,11 +13,13 @@ import (
 	"ejoin/internal/relational"
 )
 
-// Catalog maps table names to tables for binding.
+// Catalog maps table names to tables for binding. It is safe for
+// concurrent use: a long-lived process registers and drops tables while
+// other goroutines bind and run queries against it.
 type Catalog struct {
+	mu     sync.RWMutex
+	gen    uint64
 	tables map[string]*relational.Table
-	// indexes optionally maps a table name to a prebuilt vector index.
-	indexes map[string]plan.TableRef
 }
 
 // NewCatalog creates an empty catalog.
@@ -23,14 +27,69 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: map[string]*relational.Table{}}
 }
 
-// Register adds a named table (case-insensitive name).
+// Register adds a named table (case-insensitive name), replacing any
+// previous binding and advancing the catalog generation.
 func (c *Catalog) Register(name string, t *relational.Table) {
+	c.mu.Lock()
 	c.tables[strings.ToLower(name)] = t
+	c.gen++
+	c.mu.Unlock()
+}
+
+// Drop removes a named table, reporting whether it existed. Dropping
+// advances the catalog generation, invalidating prepared queries bound
+// against the old contents.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := strings.ToLower(name)
+	if _, ok := c.tables[k]; !ok {
+		return false
+	}
+	delete(c.tables, k)
+	c.gen++
+	return true
+}
+
+// Get returns a registered table (case-insensitive name).
+func (c *Catalog) Get(name string) (*relational.Table, bool) {
+	c.mu.RLock()
+	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
+	return t, ok
+}
+
+// Names lists the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// Generation counts catalog mutations. A Prepared query carries the
+// generation it was bound under; a mismatch means the binding may be
+// stale (table replaced or dropped) and the query must be re-prepared.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
 }
 
 // lookup finds a registered table.
 func (c *Catalog) lookup(name string) (*relational.Table, error) {
-	t, ok := c.tables[strings.ToLower(name)]
+	t, ok := c.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("sqlish: unknown table %q", name)
 	}
@@ -197,6 +256,48 @@ func parseAnyTime(s string) (time.Time, error) {
 	return time.Time{}, fmt.Errorf("cannot parse timestamp %q", s)
 }
 
+// Prepared is a parsed and bound query: the parse+bind cost is paid once
+// per distinct query text, after which Run executes the same binding any
+// number of times (optimization stays per-execution, because the physical
+// strategy depends on cache warmth). A Prepared is immutable and safe for
+// concurrent Run calls.
+type Prepared struct {
+	// Text is the original query text.
+	Text string
+	// Stmt is the parse tree.
+	Stmt  *Stmt
+	query plan.Query
+	gen   uint64
+}
+
+// Prepare parses input and binds it against the catalog, capturing the
+// catalog generation so callers can detect stale bindings.
+func Prepare(input string, c *Catalog, m model.Model) (*Prepared, error) {
+	gen := c.Generation()
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	q, err := Bind(stmt, c, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Text: input, Stmt: stmt, query: q, gen: gen}, nil
+}
+
+// Query returns the bound query (a copy; the Prepared stays immutable).
+func (p *Prepared) Query() plan.Query { return p.query }
+
+// Generation is the catalog generation the binding was taken under.
+func (p *Prepared) Generation() uint64 { return p.gen }
+
+// Run optimizes and executes the prepared query. Pass nil executor or
+// optimizer for defaults.
+func (p *Prepared) Run(ctx context.Context, ex *plan.Executor, opt *plan.Optimizer) (*plan.ExecResult, error) {
+	res, _, err := plan.Run(ctx, p.query, ex, opt)
+	return res, err
+}
+
 // Run parses, binds, optimizes, and executes a query in one call.
 func Run(ctx context.Context, input string, c *Catalog, m model.Model) (*plan.ExecResult, plan.Query, error) {
 	return RunWith(ctx, input, c, m, nil, nil)
@@ -206,14 +307,10 @@ func Run(ctx context.Context, input string, c *Catalog, m model.Model) (*plan.Ex
 // a long-lived process uses to share one embedding store (and its warm
 // cache) across every query it serves. Pass nil for defaults.
 func RunWith(ctx context.Context, input string, c *Catalog, m model.Model, ex *plan.Executor, opt *plan.Optimizer) (*plan.ExecResult, plan.Query, error) {
-	stmt, err := Parse(input)
+	p, err := Prepare(input, c, m)
 	if err != nil {
 		return nil, plan.Query{}, err
 	}
-	q, err := Bind(stmt, c, m)
-	if err != nil {
-		return nil, plan.Query{}, err
-	}
-	res, _, err := plan.Run(ctx, q, ex, opt)
-	return res, q, err
+	res, err := p.Run(ctx, ex, opt)
+	return res, p.query, err
 }

@@ -1,0 +1,49 @@
+package ejoin
+
+import (
+	"ejoin/internal/service"
+)
+
+// The serving layer: a long-lived Engine turns the library into a
+// concurrent query service — named tables, one shared embedding store, a
+// prepared-plan cache, admission control over estimated intermediate
+// bytes, per-query deadlines, and aggregated statistics. cmd/ejserve
+// exposes the same Engine over HTTP/JSON.
+//
+//	engine, _ := ejoin.NewEngine(ejoin.EngineConfig{})
+//	engine.RegisterTable("catalog", catalogTable)
+//	engine.RegisterTable("feed", feedTable)
+//	res, _ := engine.Query(ctx, ejoin.QueryRequest{
+//	    SQL: "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.6",
+//	})
+//	fmt.Println(res.Strategy, len(res.Matches), engine.Stats().Store.HitRatio())
+type (
+	// Engine is a concurrency-safe query engine: one per process, shared
+	// by every session.
+	Engine = service.Engine
+	// EngineConfig tunes an Engine (model, store budget, admission
+	// limits, deadlines, plan cache size).
+	EngineConfig = service.Config
+	// QueryRequest is one query: sqlish text or a structured join spec.
+	QueryRequest = service.QueryRequest
+	// JoinRequest is the structured query shape.
+	JoinRequest = service.JoinRequest
+	// QueryResult is the outcome of one served query.
+	QueryResult = service.QueryResult
+	// ServerStats aggregates request, admission, plan-cache, executor,
+	// and store statistics.
+	ServerStats = service.ServerStats
+	// TableInfo describes one catalog entry.
+	TableInfo = service.TableInfo
+)
+
+// NewEngine builds a serving engine from cfg (zero value = defaults:
+// hash model, 256 MiB store, GOMAXPROCS slots, 1 GiB admission budget).
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return service.NewEngine(cfg)
+}
+
+// IsBadRequest reports whether an Engine.Query error was caused by the
+// request itself (parse, bind, spec validation) rather than a
+// server-side failure — the 400-versus-500 split for serving layers.
+func IsBadRequest(err error) bool { return service.IsBadRequest(err) }

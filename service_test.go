@@ -1,0 +1,74 @@
+package ejoin_test
+
+import (
+	"context"
+	"testing"
+
+	"ejoin"
+)
+
+// TestEngineFacade drives the serving layer through the public API: an
+// engine with defaults, table registration, a sqlish query, and stats.
+func TestEngineFacade(t *testing.T) {
+	engine, err := ejoin.NewEngine(ejoin.EngineConfig{Dim: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := ejoin.NewTable(
+		ejoin.Schema{{Name: "name", Type: ejoin.StringType}},
+		[]ejoin.Column{ejoin.StringColumn{"barbecue", "database"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := ejoin.NewTable(
+		ejoin.Schema{{Name: "title", Type: ejoin.StringType}},
+		[]ejoin.Column{ejoin.StringColumn{"barbecues", "databases", "giraffe"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterTable("catalog", catalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterTable("feed", feed); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := engine.Query(context.Background(), ejoin.QueryRequest{
+		SQL: "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("matches = %d, want 2", len(res.Matches))
+	}
+
+	// Structured spec through the alias types.
+	res, err = engine.Query(context.Background(), ejoin.QueryRequest{
+		Join: &ejoin.JoinRequest{
+			LeftTable: "catalog", LeftColumn: "name",
+			RightTable: "feed", RightColumn: "title",
+			Kind: "topk", K: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Errorf("topk matches = %d, want 2", len(res.Matches))
+	}
+
+	st := engine.Stats()
+	if st.Queries != 2 || st.Tables != 2 {
+		t.Errorf("stats: queries=%d tables=%d", st.Queries, st.Tables)
+	}
+	if st.Store.Entries == 0 {
+		t.Error("store is empty after two queries")
+	}
+	infos := engine.Tables()
+	if len(infos) != 2 {
+		t.Errorf("tables = %+v", infos)
+	}
+}
