@@ -13,8 +13,16 @@
 //	curl -s localhost:8080/stats
 //
 // Endpoints: POST /query (sqlish text or structured join spec), POST
-// /tables (CSV ingest), GET /tables, DELETE /tables/{name}, GET /stats,
-// GET /healthz. SIGINT/SIGTERM drain in-flight queries before exit.
+// /tables (CSV ingest; duplicate names are 409 unless replace is set),
+// GET /tables, DELETE /tables/{name}, POST /snapshot (flush + compact
+// durable state), GET /stats, GET /healthz. SIGINT/SIGTERM drain
+// in-flight queries, then flush durable state, before exit.
+//
+// With -data-dir the process is durable: ingested tables and every
+// computed embedding persist, so killing the server and rebooting it on
+// the same directory serves the first repeated query with zero model
+// calls. Recovery is crash-safe — torn log tails are truncated and
+// checksum-failing records skipped, never served.
 package main
 
 import (
@@ -44,10 +52,12 @@ func main() {
 		planCache      = flag.Int("plan-cache", 256, "prepared query cache entries")
 		threads        = flag.Int("threads", 0, "per-query worker threads (0 = GOMAXPROCS)")
 		drain          = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+		dataDir        = flag.String("data-dir", "", "data directory for durable state (empty = memory-only); restarts on the same directory serve warm")
+		segmentBytes   = flag.Int64("segment-bytes", 64<<20, "embedding log segment size before rotation")
 	)
 	flag.Parse()
 
-	engine, err := service.NewEngine(service.Config{
+	engine, err := service.Open(service.Config{
 		Dim:            *dim,
 		StoreBytes:     *storeBytes,
 		MaxConcurrent:  *maxConcurrent,
@@ -56,10 +66,21 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		PlanCacheSize:  *planCache,
 		Threads:        *threads,
+		DataDir:        *dataDir,
+		SegmentBytes:   *segmentBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ejserve:", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		st := engine.Stats()
+		if d := st.Durable; d != nil {
+			log.Printf("ejserve: durable: %d tables, %d cached embeddings recovered from %s", d.LoadedTables, d.LoadedEntries, *dataDir)
+			for _, warn := range d.Warnings {
+				log.Printf("ejserve: durable: recovery: %s", warn)
+			}
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: newServer(engine)}
@@ -76,6 +97,7 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			engine.Close()
 			fmt.Fprintln(os.Stderr, "ejserve:", err)
 			os.Exit(1)
 		}
@@ -86,5 +108,11 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("ejserve: drain incomplete: %v", err)
 		}
+	}
+	// After drain: flush the write-behind queue and close the log, so the
+	// next boot on this data directory recovers everything this process
+	// embedded.
+	if err := engine.Close(); err != nil {
+		log.Printf("ejserve: closing durable state: %v", err)
 	}
 }

@@ -32,6 +32,7 @@ func newServer(e *service.Engine) *server {
 	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	return s
 }
 
@@ -75,11 +76,13 @@ func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
 //	{"name": "catalog", "schema": "sku:int,name:text", "csv": "sku,name\n1,barbecue\n"}
 //
 // Alternatively POST /tables?name=catalog&schema=sku:int,name:text with a
-// text/csv body.
+// text/csv body. Creating a name that already exists is 409 Conflict
+// unless replace is requested ("replace": true, or ?replace=true).
 type createTableRequest struct {
-	Name   string `json:"name"`
-	Schema string `json:"schema"`
-	CSV    string `json:"csv"`
+	Name    string `json:"name"`
+	Schema  string `json:"schema"`
+	CSV     string `json:"csv"`
+	Replace bool   `json:"replace"`
 }
 
 func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
@@ -95,6 +98,9 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	} else {
 		csvSrc = strings.NewReader(req.CSV)
 	}
+	if v := r.URL.Query().Get("replace"); v != "" {
+		req.Replace = v == "true" || v == "1"
+	}
 	if req.Name == "" || req.Schema == "" {
 		writeError(w, http.StatusBadRequest, "name and schema are required")
 		return
@@ -104,12 +110,38 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rows, err := s.engine.RegisterCSV(req.Name, schema, csvSrc)
-	if err != nil {
+	rows, err := s.engine.RegisterCSV(req.Name, schema, csvSrc, req.Replace)
+	switch {
+	case errors.Is(err, service.ErrTableExists):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, service.ErrPersist):
+		// The table is live in memory but did not reach disk — a server
+		// fault, not a request fault.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows})
+}
+
+// handleSnapshot flushes and compacts the durable layer on demand — the
+// operator's pre-deploy "make disk current and minimal" button. A
+// memory-only engine is 409 (the resource state cannot satisfy the
+// request); an I/O failure during flush/compaction is 500.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.engine.Snapshot()
+	if errors.Is(err, service.ErrNotDurable) {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {

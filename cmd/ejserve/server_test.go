@@ -204,3 +204,117 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Errorf("store entries = %v, want > 0", store["entries"])
 	}
 }
+
+func TestCreateTableConflictAndReplace(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	// A duplicate create is 409 Conflict, leaving the table untouched.
+	body, _ := json.Marshal(map[string]string{
+		"name": "catalog", "schema": "sku:int,name:text", "csv": "sku,name\n9,espresso\n"})
+	status, resp := doJSON(t, http.MethodPost, ts.URL+"/tables", string(body))
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d, body %v", status, resp)
+	}
+	status, tables := doJSON(t, http.MethodGet, ts.URL+"/tables", "")
+	if status != http.StatusOK {
+		t.Fatal("listing tables failed")
+	}
+	for _, ti := range tables["tables"].([]any) {
+		m := ti.(map[string]any)
+		if m["name"] == "catalog" && m["rows"].(float64) != 3 {
+			t.Errorf("409'd create still replaced the table: %v", m)
+		}
+	}
+
+	// With replace: true the same request succeeds.
+	body, _ = json.Marshal(map[string]any{
+		"name": "catalog", "schema": "sku:int,name:text", "csv": "sku,name\n9,espresso\n", "replace": true})
+	status, resp = doJSON(t, http.MethodPost, ts.URL+"/tables", string(body))
+	if status != http.StatusCreated || resp["rows"].(float64) != 1 {
+		t.Fatalf("replace create: status %d, body %v", status, resp)
+	}
+
+	// The ?replace=true query form works for text/csv uploads too.
+	req, err := http.NewRequest(http.MethodPost,
+		ts.URL+"/tables?name=catalog&schema=sku:int,name:text&replace=true",
+		strings.NewReader("sku,name\n5,kettle\n6,mug\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusCreated {
+		t.Fatalf("csv replace upload: status %d", httpResp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *service.Engine {
+		engine, err := service.Open(service.Config{Dim: 32, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine
+	}
+
+	engine := open()
+	ts := httptest.NewServer(newServer(engine))
+	ingestPair(t, ts)
+	status, _ := doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
+	if status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	status, snap := doJSON(t, http.MethodPost, ts.URL+"/snapshot", "")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: status %d, body %v", status, snap)
+	}
+	if snap["entries"].(float64) == 0 || snap["tables"].(float64) != 2 {
+		t.Errorf("snapshot info %v", snap)
+	}
+	ts.Close()
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot on the same directory: tables are present, the repeated
+	// query runs against a warm store with zero model calls.
+	engine2 := open()
+	defer engine2.Close()
+	ts2 := httptest.NewServer(newServer(engine2))
+	defer ts2.Close()
+	status, _ = doJSON(t, http.MethodPost, ts2.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
+	if status != http.StatusOK {
+		t.Fatal("warm query failed")
+	}
+	status, stats := doJSON(t, http.MethodGet, ts2.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	store := stats["store"].(map[string]any)
+	if calls := store["model_calls"].(float64); calls != 0 {
+		t.Errorf("warm restart made %v model calls, want 0", calls)
+	}
+	durable := stats["durable"].(map[string]any)
+	if durable["loaded_entries"].(float64) == 0 || durable["loaded_tables"].(float64) != 2 {
+		t.Errorf("durable stats after restart: %v", durable)
+	}
+	if _, ok := stats["store_models"]; !ok {
+		t.Error("stats missing per-model entry counts")
+	}
+}
+
+func TestSnapshotOnMemoryOnlyEngineErrors(t *testing.T) {
+	ts := newTestServer(t)
+	status, resp := doJSON(t, http.MethodPost, ts.URL+"/snapshot", "")
+	if status != http.StatusConflict {
+		t.Errorf("memory-only snapshot: status %d, body %v", status, resp)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"ejoin/internal/core"
+	"ejoin/internal/durable"
 	"ejoin/internal/embstore"
 	"ejoin/internal/hnsw"
 	"ejoin/internal/ivf"
@@ -48,6 +49,26 @@ func SelectStrings(ctx context.Context, m Model, inputs []string, query string, 
 // how production deployments amortize it.
 func LoadIndex(r io.Reader) (*Index, error) {
 	return hnsw.Load(r)
+}
+
+// IndexSnapshotter is the durability contract an index family satisfies
+// to round-trip through SaveVectorIndex/LoadVectorIndex: a kind tag plus
+// versioned binary self-serialization. HNSW and IVF-Flat both implement
+// it.
+type IndexSnapshotter = vindex.Snapshotter
+
+// SaveVectorIndex writes any snapshot-capable vector index as a
+// checksummed, kind-tagged container, so LoadVectorIndex can restore it
+// without knowing the index family in advance.
+func SaveVectorIndex(w io.Writer, ix IndexSnapshotter) error {
+	return durable.SaveIndex(w, ix)
+}
+
+// LoadVectorIndex reads a snapshot written by SaveVectorIndex, verifying
+// its checksum and dispatching to the right decoder by kind. The restored
+// index answers TopK identically to the one saved.
+func LoadVectorIndex(r io.Reader) (VectorIndex, error) {
+	return durable.LoadIndex(r)
 }
 
 // VectorIndex is the access-path abstraction both index types satisfy:

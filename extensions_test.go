@@ -107,3 +107,58 @@ func TestDefaultLSHParams(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVectorIndexSnapshotPublicAPI(t *testing.T) {
+	m, _ := NewHashModel(32)
+	ctx := context.Background()
+	tbl, err := NewTable(
+		Schema{{Name: "w", Type: StringType}},
+		[]Column{StringColumn{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidx, err := BuildIndex(ctx, tbl, "w", m, IndexConfig{M: 4, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidx, err := BuildIVFIndex(ctx, tbl, "w", m, IVFConfig{NLists: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := m.Embed("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either index family round-trips through the kind-tagged container,
+	// restoring identical TopK answers.
+	for _, ix := range []IndexSnapshotter{hidx, iidx} {
+		var buf bytes.Buffer
+		if err := SaveVectorIndex(&buf, ix); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := LoadVectorIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ix.TopK(q, 3, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.TopK(q, 3, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d hits, want %d", ix.Kind(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s hit %d: %+v vs %+v", ix.Kind(), i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := LoadVectorIndex(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("expected error for garbage snapshot")
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ejoin/internal/model"
+	"ejoin/internal/service"
+	"ejoin/internal/workload"
+)
+
+// persistBoot is one engine lifetime in the persist experiment.
+type persistBoot struct {
+	// OpenMs is how long Open took (manifest + table recovery + log
+	// replay for the warm boot; directory creation for the cold one).
+	OpenMs float64 `json:"open_ms"`
+	// FirstQueryMs is the first query's end-to-end latency.
+	FirstQueryMs float64 `json:"first_query_ms"`
+	// ModelCalls is how many model invocations the first query cost.
+	ModelCalls int64 `json:"model_calls"`
+	// LoadedEntries is how many cache entries Open replayed from disk.
+	LoadedEntries int64 `json:"loaded_entries"`
+	// LoadedTables is how many tables Open recovered.
+	LoadedTables int `json:"loaded_tables"`
+}
+
+// persistReport is the machine-readable result (BENCH_persist.json).
+type persistReport struct {
+	RowsPerSide int         `json:"rows_per_side"`
+	Cold        persistBoot `json:"cold"`
+	Warm        persistBoot `json:"warm"`
+	LogBytes    int64       `json:"log_bytes"`
+	LogEntries  int64       `json:"log_entries"`
+	SnapshotMs  float64     `json:"snapshot_ms"`
+}
+
+// expPersist measures what the durable layer buys a restart: boot an
+// engine on a fresh data directory (cold), ingest and query (paying the
+// full model cost), close it; boot a second engine on the same directory
+// (warm) and run the same query. The warm boot must recover the tables
+// and cache from disk and serve the first query with zero model calls —
+// the restart equivalent of the store's cross-query reuse.
+func expPersist() Experiment {
+	return Experiment{
+		Name:        "persist",
+		Paper:       "Durability (new)",
+		Description: "Cold boot vs warm-from-disk boot: open latency, first-query time, and model calls after a restart.",
+		Run: func(w io.Writer, cfg Config) error {
+			rows := cfg.size(480)
+			dir, err := os.MkdirTemp("", "ejoin-persist-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+
+			base, err := model.NewHashEmbedder(100)
+			if err != nil {
+				return err
+			}
+			// Per-call latency makes the model cost visible in first-query
+			// time, the regime a real embedding model imposes.
+			counting := model.NewCountingModel(model.NewLatencyModel(base, 20*time.Microsecond))
+			const query = "SELECT * FROM left JOIN right ON SIM(left.text, right.text) >= 0.80"
+
+			boot := func(ingest bool) (persistBoot, *service.Engine, error) {
+				var b persistBoot
+				t0 := time.Now()
+				engine, err := service.Open(service.Config{
+					Model:   counting,
+					Threads: cfg.threads(),
+					DataDir: dir,
+				})
+				if err != nil {
+					return b, nil, err
+				}
+				b.OpenMs = msF(time.Since(t0))
+				if d := engine.Stats().Durable; d != nil {
+					b.LoadedEntries = d.LoadedEntries
+					b.LoadedTables = d.LoadedTables
+				}
+				if ingest {
+					lt, err := stringTable(workload.Strings(cfg.Seed, rows, nil))
+					if err != nil {
+						return b, nil, err
+					}
+					rt, err := stringTable(workload.Strings(cfg.Seed+1, rows, nil))
+					if err != nil {
+						return b, nil, err
+					}
+					if err := engine.RegisterTable("left", lt); err != nil {
+						return b, nil, err
+					}
+					if err := engine.RegisterTable("right", rt); err != nil {
+						return b, nil, err
+					}
+				}
+				counting.Reset()
+				t1 := time.Now()
+				if _, err := engine.Query(context.Background(), service.QueryRequest{SQL: query}); err != nil {
+					return b, nil, err
+				}
+				b.FirstQueryMs = msF(time.Since(t1))
+				b.ModelCalls = counting.Calls()
+				return b, engine, nil
+			}
+
+			cold, engine, err := boot(true)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			info, err := engine.Snapshot()
+			if err != nil {
+				return err
+			}
+			snapshotMs := msF(time.Since(t0))
+			if err := engine.Close(); err != nil {
+				return err
+			}
+
+			warm, engine2, err := boot(false)
+			if err != nil {
+				return err
+			}
+			defer engine2.Close()
+
+			rep := persistReport{
+				RowsPerSide: rows,
+				Cold:        cold,
+				Warm:        warm,
+				LogBytes:    info.LogBytes,
+				LogEntries:  info.Entries,
+				SnapshotMs:  snapshotMs,
+			}
+
+			t := newTable("Boot", "Open [ms]", "First query [ms]", "Model calls", "Entries loaded", "Tables loaded")
+			t.addRow("cold (fresh dir)", fmt.Sprintf("%.2f", cold.OpenMs),
+				fmt.Sprintf("%.2f", cold.FirstQueryMs), fmt.Sprint(cold.ModelCalls),
+				fmt.Sprint(cold.LoadedEntries), fmt.Sprint(cold.LoadedTables))
+			t.addRow("warm (same dir)", fmt.Sprintf("%.2f", warm.OpenMs),
+				fmt.Sprintf("%.2f", warm.FirstQueryMs), fmt.Sprint(warm.ModelCalls),
+				fmt.Sprint(warm.LoadedEntries), fmt.Sprint(warm.LoadedTables))
+			t.print(w)
+			fmt.Fprintf(w, "\nlog after snapshot: %d entries, %d bytes; snapshot took %.2f ms\n",
+				info.Entries, info.LogBytes, snapshotMs)
+			if warm.ModelCalls != 0 {
+				fmt.Fprintf(w, "WARNING: warm boot made %d model calls; expected 0 from a recovered cache\n", warm.ModelCalls)
+			}
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_persist.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// msF renders a duration as float milliseconds (the JSON-report shape;
+// the table formatter's ms renders strings).
+func msF(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,152 @@
+// Package durable is the disk persistence subsystem: it makes the
+// engine's expensive-to-recompute state survive restarts, deploys, and
+// crashes.
+//
+// The paper's central cost observation is that the embedding operator E_µ
+// dominates end-to-end join time. PR 1 amortized it across queries with an
+// in-memory store; this package amortizes it across process lifetimes.
+// Three artifacts persist, each with its own format and recovery story:
+//
+//   - the embedding cache, as an append-only, checksummed segment log of
+//     (model fingerprint, input, vector) records (Log). Appends are
+//     write-behind from the store's insert hook (Persister); recovery
+//     replays segments in order, truncates a torn tail, and skips past
+//     corrupt records instead of crashing or serving bad vectors;
+//   - vector indexes, as versioned binary snapshots in a checksummed
+//     container dispatched by index kind (SaveIndex/LoadIndex), so a
+//     built HNSW graph or IVF partitioning is restored instead of
+//     rebuilt;
+//   - the table catalog, as a manifest (MANIFEST.json) naming one
+//     checksummed columnar table file per registered table
+//     (WriteTableFile/ReadTableFile), so ingested tables reopen on boot.
+//
+// Layout of a data directory:
+//
+//	<dir>/
+//	  MANIFEST.json          table catalog (atomic rewrite)
+//	  emb/seg-XXXXXXXXXX.log embedding segment log, ascending ids
+//	  tables/<name>.tbl      columnar table files
+//	  indexes/               caller-managed index snapshots
+//
+// Every multi-byte integer on disk is little-endian; every file carries a
+// magic header; every record and file body is CRC-checked (Castagnoli).
+// Rewrites are atomic: temp file in the same directory, fsync, rename.
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Subdirectory and file names inside a data directory.
+const (
+	ManifestName = "MANIFEST.json"
+	EmbDirName   = "emb"
+	TableDirName = "tables"
+	IndexDirName = "indexes"
+)
+
+// crcTable is the shared Castagnoli polynomial table (hardware-accelerated
+// on amd64/arm64, and the polynomial production log formats use).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Layout resolves the standard paths under one data directory.
+type Layout struct {
+	Dir string
+}
+
+// ManifestPath is the table-catalog manifest file.
+func (l Layout) ManifestPath() string { return filepath.Join(l.Dir, ManifestName) }
+
+// EmbDir is the embedding segment log directory.
+func (l Layout) EmbDir() string { return filepath.Join(l.Dir, EmbDirName) }
+
+// TableDir is the columnar table file directory.
+func (l Layout) TableDir() string { return filepath.Join(l.Dir, TableDirName) }
+
+// IndexDir is the index snapshot directory.
+func (l Layout) IndexDir() string { return filepath.Join(l.Dir, IndexDirName) }
+
+// TablePath is the file backing one named table.
+func (l Layout) TablePath(name string) string {
+	return filepath.Join(l.TableDir(), sanitizeName(name)+".tbl")
+}
+
+// TableFileRel is TablePath relative to the data directory — the form
+// recorded in manifest entries.
+func (l Layout) TableFileRel(name string) string {
+	return TableDirName + "/" + sanitizeName(name) + ".tbl"
+}
+
+// Create makes the directory tree (idempotent).
+func (l Layout) Create() error {
+	for _, d := range []string{l.Dir, l.EmbDir(), l.TableDir(), l.IndexDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return fmt.Errorf("durable: creating %s: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// sanitizeName maps a table name to a safe file stem: anything outside
+// [a-zA-Z0-9_-] becomes '_', with a '%02x' suffix of the hash for
+// uniqueness when characters were replaced.
+func sanitizeName(name string) string {
+	safe := true
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			out[i] = c
+		default:
+			out[i] = '_'
+			safe = false
+		}
+	}
+	if safe && len(name) > 0 {
+		return name
+	}
+	sum := crc32.Checksum([]byte(name), crcTable)
+	return fmt.Sprintf("%s-%08x", out, sum)
+}
+
+// atomicWriteFile writes via fn into a temp file in path's directory,
+// fsyncs, and renames over path — readers never observe a partial file.
+func atomicWriteFile(path string, fn func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("durable: renaming %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Best
+// effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,95 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Manifest is the table catalog's durable root: the set of tables the
+// engine should reopen on boot, each pointing at a checksummed table
+// file. The manifest is rewritten atomically on every catalog mutation,
+// so a crash leaves either the old or the new catalog — never a partial
+// one. Table files referenced by neither version are orphans and are
+// swept on open.
+type Manifest struct {
+	// Version is the manifest format version.
+	Version int `json:"version"`
+	// Tables lists the persisted tables, sorted by name.
+	Tables []TableEntry `json:"tables"`
+}
+
+// ManifestVersion is the current format version.
+const ManifestVersion = 1
+
+// TableEntry is one persisted table.
+type TableEntry struct {
+	// Name is the catalog name.
+	Name string `json:"name"`
+	// File is the table file name, relative to the layout's table dir.
+	File string `json:"file"`
+	// Rows and Cols describe the table, for listing without opening.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// Sort orders entries by name (canonical form, stable diffs).
+func (m *Manifest) Sort() {
+	sort.Slice(m.Tables, func(i, j int) bool { return m.Tables[i].Name < m.Tables[j].Name })
+}
+
+// Upsert adds or replaces the entry for e.Name.
+func (m *Manifest) Upsert(e TableEntry) {
+	for i := range m.Tables {
+		if m.Tables[i].Name == e.Name {
+			m.Tables[i] = e
+			return
+		}
+	}
+	m.Tables = append(m.Tables, e)
+	m.Sort()
+}
+
+// Remove deletes the entry for name, reporting whether it existed.
+func (m *Manifest) Remove(name string) bool {
+	for i := range m.Tables {
+		if m.Tables[i].Name == name {
+			m.Tables = append(m.Tables[:i], m.Tables[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReadManifest loads the manifest at path. A missing file is an empty
+// manifest (fresh data directory), not an error.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Manifest{Version: ManifestVersion}, nil
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("durable: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("durable: parsing manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return Manifest{}, fmt.Errorf("durable: manifest version %d, this build reads %d", m.Version, ManifestVersion)
+	}
+	return m, nil
+}
+
+// Write atomically persists the manifest to path.
+func (m Manifest) Write(path string) error {
+	m.Version = ManifestVersion
+	m.Sort()
+	return atomicWriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}

@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Segment file format. A segment is the unit of rotation and compaction
+// in the embedding log:
+//
+//	magic "EJSEG001" (8 bytes)
+//	record*
+//
+// One record frames one embedding cache entry:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u32 fpLen | u32 inputLen | u32 dim | fp | input | dim × f32
+//
+// The CRC covers the payload only; the length prefix is validated by
+// bounds checks (an absurd length is itself corruption). Recovery reads
+// records until the first one that fails framing, bounds, or checksum —
+// everything before that point is trusted, everything after is not,
+// because record boundaries downstream of a corrupt frame cannot be
+// re-synchronized. For the active tail segment the invalid suffix is a
+// torn write and is truncated; for sealed segments it is skipped.
+
+var segMagic = [8]byte{'E', 'J', 'S', 'E', 'G', '0', '0', '1'}
+
+// Framing limits: a violating length prefix is treated as corruption, not
+// an allocation request.
+const (
+	maxFingerprintLen = 1 << 16
+	maxInputLen       = 1 << 24
+	maxVectorDim      = 1 << 20
+	recordHeaderLen   = 8 // payloadLen + crc
+)
+
+// Record is one embedding cache entry on disk.
+type Record struct {
+	// Fingerprint identifies the model (embstore.Fingerprint).
+	Fingerprint string
+	// Input is the embedded text.
+	Input string
+	// Vec is the unit-norm embedding.
+	Vec []float32
+}
+
+// payloadSize is the encoded payload length of r.
+func (r Record) payloadSize() int {
+	return 12 + len(r.Fingerprint) + len(r.Input) + 4*len(r.Vec)
+}
+
+// appendRecord encodes r framed into buf and returns the extended slice.
+func appendRecord(buf []byte, r Record) ([]byte, error) {
+	if len(r.Fingerprint) > maxFingerprintLen {
+		return buf, fmt.Errorf("durable: fingerprint length %d exceeds limit", len(r.Fingerprint))
+	}
+	if len(r.Input) > maxInputLen {
+		return buf, fmt.Errorf("durable: input length %d exceeds limit", len(r.Input))
+	}
+	if len(r.Vec) > maxVectorDim {
+		return buf, fmt.Errorf("durable: vector dim %d exceeds limit", len(r.Vec))
+	}
+	le := binary.LittleEndian
+	n := r.payloadSize()
+	start := len(buf)
+	buf = append(buf, make([]byte, recordHeaderLen+n)...)
+	le.PutUint32(buf[start:], uint32(n))
+	payload := buf[start+recordHeaderLen:]
+	le.PutUint32(payload[0:], uint32(len(r.Fingerprint)))
+	le.PutUint32(payload[4:], uint32(len(r.Input)))
+	le.PutUint32(payload[8:], uint32(len(r.Vec)))
+	off := 12
+	off += copy(payload[off:], r.Fingerprint)
+	off += copy(payload[off:], r.Input)
+	for _, v := range r.Vec {
+		le.PutUint32(payload[off:], math.Float32bits(v))
+		off += 4
+	}
+	le.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// decodePayload parses a checksummed payload into a Record.
+func decodePayload(payload []byte) (Record, error) {
+	le := binary.LittleEndian
+	if len(payload) < 12 {
+		return Record{}, fmt.Errorf("durable: payload too short (%d bytes)", len(payload))
+	}
+	fpLen := int(le.Uint32(payload[0:]))
+	inLen := int(le.Uint32(payload[4:]))
+	dim := int(le.Uint32(payload[8:]))
+	if fpLen > maxFingerprintLen || inLen > maxInputLen || dim > maxVectorDim {
+		return Record{}, fmt.Errorf("durable: implausible record (fp=%d input=%d dim=%d)", fpLen, inLen, dim)
+	}
+	want := 12 + fpLen + inLen + 4*dim
+	if len(payload) != want {
+		return Record{}, fmt.Errorf("durable: payload length %d, header says %d", len(payload), want)
+	}
+	off := 12
+	rec := Record{
+		Fingerprint: string(payload[off : off+fpLen]),
+	}
+	off += fpLen
+	rec.Input = string(payload[off : off+inLen])
+	off += inLen
+	rec.Vec = make([]float32, dim)
+	for i := range rec.Vec {
+		rec.Vec[i] = math.Float32frombits(le.Uint32(payload[off:]))
+		off += 4
+	}
+	return rec, nil
+}
+
+// scanResult is what scanning one segment found.
+type scanResult struct {
+	// records is the number of valid records.
+	records int64
+	// validLen is the byte offset up to which the segment is trusted
+	// (magic plus whole valid records).
+	validLen int64
+	// truncated reports whether any bytes past validLen existed — a torn
+	// tail or mid-segment corruption.
+	truncated bool
+	// reason describes the first invalid frame, for operator logs.
+	reason string
+}
+
+// scanSegment reads one segment from r (of total size, if known; pass -1
+// when unknown), invoking fn per valid record, stopping at the first
+// invalid frame. An error from fn aborts the scan (scanning itself never
+// returns an error: invalid content is a result, not a failure).
+func scanSegment(r io.Reader, fn func(Record) error) (scanResult, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var res scanResult
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		res.truncated = true
+		res.reason = "missing magic"
+		return res, nil
+	}
+	if magic != segMagic {
+		res.truncated = true
+		res.reason = fmt.Sprintf("bad magic %q", magic)
+		return res, nil
+	}
+	res.validLen = int64(len(magic))
+
+	le := binary.LittleEndian
+	var hdr [recordHeaderLen]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err != io.EOF {
+				res.truncated = true
+				res.reason = "torn record header"
+			}
+			return res, nil
+		}
+		n := int(le.Uint32(hdr[0:]))
+		crc := le.Uint32(hdr[4:])
+		if n < 12 || n > 12+maxFingerprintLen+maxInputLen+4*maxVectorDim {
+			res.truncated = true
+			res.reason = fmt.Sprintf("implausible record length %d", n)
+			return res, nil
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			res.truncated = true
+			res.reason = "torn record payload"
+			return res, nil
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			res.truncated = true
+			res.reason = "checksum mismatch"
+			return res, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			res.truncated = true
+			res.reason = err.Error()
+			return res, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+		}
+		res.records++
+		res.validLen += int64(recordHeaderLen + n)
+	}
+}

@@ -1,0 +1,164 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"ejoin/internal/hnsw"
+	"ejoin/internal/ivf"
+	"ejoin/internal/vindex"
+)
+
+// Index snapshot container. An index family serializes itself
+// (vindex.Snapshotter.WriteSnapshot); this container wraps the payload so
+// a reader can (a) dispatch to the right decoder without guessing from
+// payload magic, and (b) reject corruption before handing bytes to a
+// decoder:
+//
+//	magic "EJSNAP01" | u16 kindLen | kind | u64 payloadLen |
+//	u32 crc32c(payload) | payload
+//
+// Decoders register per kind; HNSW and IVF-Flat are registered here, and
+// external index families can add their own.
+
+var snapMagic = [8]byte{'E', 'J', 'S', 'N', 'A', 'P', '0', '1'}
+
+// maxSnapshotBytes bounds the payload a loader will buffer (a corrupted
+// length prefix must not become a 2^60-byte allocation).
+const maxSnapshotBytes = 1 << 33
+
+// IndexLoader decodes one index family's snapshot payload.
+type IndexLoader func(r io.Reader) (vindex.Index, error)
+
+var (
+	loadersMu sync.RWMutex
+	loaders   = map[string]IndexLoader{
+		hnsw.SnapshotKind: func(r io.Reader) (vindex.Index, error) { return hnsw.Load(r) },
+		ivf.SnapshotKind:  func(r io.Reader) (vindex.Index, error) { return ivf.Load(r) },
+	}
+)
+
+// RegisterIndexKind adds (or replaces) the decoder for one snapshot kind.
+func RegisterIndexKind(kind string, loader IndexLoader) {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	loaders[kind] = loader
+}
+
+// IndexKinds lists the registered snapshot kinds, sorted.
+func IndexKinds() []string {
+	loadersMu.RLock()
+	defer loadersMu.RUnlock()
+	out := make([]string, 0, len(loaders))
+	for k := range loaders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SaveIndex writes ix as a checksummed, kind-tagged snapshot. The index
+// must not be mutated concurrently.
+func SaveIndex(w io.Writer, ix vindex.Snapshotter) error {
+	kind := ix.Kind()
+	if kind == "" || len(kind) > 1<<10 {
+		return fmt.Errorf("durable: invalid snapshot kind %q", kind)
+	}
+	var payload bytes.Buffer
+	if err := ix.WriteSnapshot(&payload); err != nil {
+		return fmt.Errorf("durable: serializing %s index: %w", kind, err)
+	}
+	le := binary.LittleEndian
+	if _, err := w.Write(snapMagic[:]); err != nil {
+		return fmt.Errorf("durable: writing snapshot header: %w", err)
+	}
+	hdr := make([]byte, 2+len(kind)+12)
+	le.PutUint16(hdr[0:], uint16(len(kind)))
+	copy(hdr[2:], kind)
+	le.PutUint64(hdr[2+len(kind):], uint64(payload.Len()))
+	le.PutUint32(hdr[2+len(kind)+8:], crc32.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("durable: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("durable: writing snapshot payload: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex reads a snapshot written by SaveIndex, verifies its checksum,
+// and decodes it through the kind registry.
+func LoadIndex(r io.Reader) (vindex.Index, error) {
+	le := binary.LittleEndian
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot header: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("durable: bad snapshot magic %q", magic)
+	}
+	var kindLen uint16
+	if err := binary.Read(r, le, &kindLen); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot kind: %w", err)
+	}
+	if kindLen == 0 || kindLen > 1<<10 {
+		return nil, fmt.Errorf("durable: implausible snapshot kind length %d", kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kindBuf); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot kind: %w", err)
+	}
+	kind := string(kindBuf)
+	var payloadLen uint64
+	if err := binary.Read(r, le, &payloadLen); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot length: %w", err)
+	}
+	if payloadLen > maxSnapshotBytes {
+		return nil, fmt.Errorf("durable: implausible snapshot length %d", payloadLen)
+	}
+	var crc uint32
+	if err := binary.Read(r, le, &crc); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot checksum: %w", err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot payload: %w", err)
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("durable: %s snapshot failed checksum (corrupt file?)", kind)
+	}
+	loadersMu.RLock()
+	loader, ok := loaders[kind]
+	loadersMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("durable: no loader registered for index kind %q (have %v)", kind, IndexKinds())
+	}
+	ix, err := loader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("durable: decoding %s snapshot: %w", kind, err)
+	}
+	return ix, nil
+}
+
+// SaveIndexFile atomically writes ix's snapshot to path.
+func SaveIndexFile(path string, ix vindex.Snapshotter) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return SaveIndex(w, ix)
+	})
+}
+
+// LoadIndexFile reads a snapshot file written by SaveIndexFile.
+func LoadIndexFile(path string) (vindex.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening snapshot %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadIndex(f)
+}

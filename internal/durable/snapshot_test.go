@@ -1,0 +1,237 @@
+package durable
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ejoin/internal/hnsw"
+	"ejoin/internal/ivf"
+	"ejoin/internal/mat"
+	"ejoin/internal/relational"
+	"ejoin/internal/vindex"
+)
+
+// unitVectors makes n deterministic unit-norm vectors of dimension d.
+func unitVectors(seed int64, n, d int) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, d)
+		var norm float64
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+			norm += float64(v[j]) * float64(v[j])
+		}
+		inv := float32(1 / (1e-12 + sqrt(norm)))
+		for j := range v {
+			v[j] *= inv
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// buildBoth builds an HNSW and an IVF index over the same vectors.
+func buildBoth(t *testing.T, vecs [][]float32) (*hnsw.Index, *ivf.Index) {
+	t.Helper()
+	h, err := hnsw.Build(vecs, hnsw.Config{M: 8, EfConstruction: 64, EfSearch: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mat.FromRows(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := ivf.Build(m, ivf.Config{NLists: 8, Seed: 7, NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, iv
+}
+
+// assertSameTopK probes both indexes identically and requires identical
+// hits and identical per-probe distance-call growth.
+func assertSameTopK(t *testing.T, orig, restored vindex.Index, queries [][]float32, filter *relational.Bitmap) {
+	t.Helper()
+	for qi, q := range queries {
+		o0, r0 := orig.DistanceCalls(), restored.DistanceCalls()
+		oh, err := orig.TopK(q, 5, 0, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := restored.TopK(q, 5, 0, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(oh) != len(rh) {
+			t.Fatalf("query %d: %d vs %d hits", qi, len(oh), len(rh))
+		}
+		for i := range oh {
+			if oh[i] != rh[i] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, i, oh[i], rh[i])
+			}
+			if filter != nil && !filter.Get(oh[i].ID) {
+				t.Fatalf("query %d hit %d: id %d escapes the filter", qi, i, oh[i].ID)
+			}
+		}
+		// The restored structure must probe identically, not just answer
+		// identically: distance-call growth is the cost observable the
+		// planner models (Iprobe), so a snapshot that changed it would
+		// silently invalidate access-path choices.
+		if od, rd := orig.DistanceCalls()-o0, restored.DistanceCalls()-r0; od != rd {
+			t.Fatalf("query %d: distance calls %d vs %d", qi, od, rd)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, ix vindex.Snapshotter) vindex.Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+func TestSnapshotRoundTripHNSWAndIVF(t *testing.T) {
+	vecs := unitVectors(11, 300, 24)
+	queries := unitVectors(13, 12, 24)
+	h, iv := buildBoth(t, vecs)
+
+	// A mid-selectivity filter: every third row qualifies.
+	filter := relational.NewBitmap(len(vecs))
+	for i := 0; i < len(vecs); i += 3 {
+		filter.Set(i)
+	}
+
+	for _, tc := range []struct {
+		name string
+		ix   vindex.Snapshotter
+	}{
+		{"hnsw", h},
+		{"ivf", iv},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			restored := roundTrip(t, tc.ix)
+			if restored.Len() != tc.ix.Len() || restored.Dim() != tc.ix.Dim() {
+				t.Fatalf("shape %d/%d, want %d/%d", restored.Len(), restored.Dim(), tc.ix.Len(), tc.ix.Dim())
+			}
+			if restored.DistanceCalls() != 0 {
+				t.Errorf("restored index starts with %d distance calls, want 0", restored.DistanceCalls())
+			}
+			assertSameTopK(t, tc.ix, restored, queries, nil)
+			assertSameTopK(t, tc.ix, restored, queries, filter)
+		})
+	}
+}
+
+func TestSnapshotKindDispatch(t *testing.T) {
+	vecs := unitVectors(17, 120, 16)
+	h, iv := buildBoth(t, vecs)
+
+	dir := t.TempDir()
+	hPath := filepath.Join(dir, "h.snap")
+	iPath := filepath.Join(dir, "i.snap")
+	if err := SaveIndexFile(hPath, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndexFile(iPath, iv); err != nil {
+		t.Fatal(err)
+	}
+	// Loading dispatches by the container's kind tag, not the file name.
+	hBack, err := LoadIndexFile(hPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hBack.(*hnsw.Index); !ok {
+		t.Fatalf("h.snap decoded as %T", hBack)
+	}
+	iBack, err := LoadIndexFile(iPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := iBack.(*ivf.Index); !ok {
+		t.Fatalf("i.snap decoded as %T", iBack)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	vecs := unitVectors(19, 80, 8)
+	_, iv := buildBoth(t, vecs)
+	path := filepath.Join(t.TempDir(), "x.snap")
+	if err := SaveIndexFile(path, iv); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte: the container checksum must reject it before
+	// any decoder sees the bytes.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-3] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexFile(path); err == nil {
+		t.Fatal("flipped-byte snapshot loaded without error")
+	}
+
+	// Truncate: must error, not hang or crash.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexFile(path); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+
+	// Unknown kind: registry miss is a clear error.
+	if _, err := LoadIndex(bytes.NewReader(fakeSnapshot(t, "martian"))); err == nil {
+		t.Fatal("unknown-kind snapshot loaded without error")
+	}
+}
+
+// fakeSnapshot builds a well-formed container of an unregistered kind.
+func fakeSnapshot(t *testing.T, kind string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fake := fakeSnapshotter{kind: kind}
+	if err := SaveIndex(&buf, fake); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+type fakeSnapshotter struct{ kind string }
+
+func (f fakeSnapshotter) Dim() int             { return 1 }
+func (f fakeSnapshotter) Len() int             { return 0 }
+func (f fakeSnapshotter) DistanceCalls() int64 { return 0 }
+func (f fakeSnapshotter) TopK(q []float32, k, beam int, filter *relational.Bitmap) ([]vindex.Hit, error) {
+	return nil, nil
+}
+func (f fakeSnapshotter) Kind() string { return f.kind }
+func (f fakeSnapshotter) WriteSnapshot(w io.Writer) error {
+	_, err := w.Write([]byte("payload"))
+	return err
+}

@@ -1,0 +1,348 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"ejoin/internal/relational"
+)
+
+// Columnar table file format — how the catalog's ingested tables survive
+// restarts:
+//
+//	magic "EJTBL001" | u32 numCols | u64 numRows | column* | u32 crc
+//	column: u16 nameLen | name | u8 type | values
+//
+// Values are dense per type (i64, f64, length-prefixed strings,
+// sec+nsec timestamps, bytes for bools, dim-prefixed f32 rows for
+// vectors). The trailing CRC covers everything from the magic on, so a
+// flipped byte anywhere in the file is detected at read time; recovery
+// treats a failed table file as missing rather than serving bad rows.
+
+var tblMagic = [8]byte{'E', 'J', 'T', 'B', 'L', '0', '0', '1'}
+
+// maxTableCols bounds the column count a reader will trust.
+const maxTableCols = 1 << 16
+
+// readChunkRows bounds how many rows of a dense column are allocated and
+// read at once. A corrupt row count (the header precedes the CRC check,
+// which only runs at the end of the file) must fail with a short read
+// after at most one chunk of over-allocation — never a multi-terabyte
+// make() panic.
+const readChunkRows = 1 << 16
+
+// crcWriter tracks a running checksum of everything written.
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: w, sum: crc32.New(crcTable)}
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum.Write(p[:n])
+	return n, err
+}
+
+// crcReader tracks a running checksum of everything read.
+type crcReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, sum: crc32.New(crcTable)}
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum.Write(p[:n])
+	return n, err
+}
+
+// WriteTable serializes t.
+func WriteTable(w io.Writer, t *relational.Table) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := newCRCWriter(bw)
+	le := binary.LittleEndian
+	if _, err := cw.Write(tblMagic[:]); err != nil {
+		return fmt.Errorf("durable: writing table header: %w", err)
+	}
+	schema := t.Schema()
+	if err := binary.Write(cw, le, uint32(len(schema))); err != nil {
+		return fmt.Errorf("durable: writing table header: %w", err)
+	}
+	if err := binary.Write(cw, le, uint64(t.NumRows())); err != nil {
+		return fmt.Errorf("durable: writing table header: %w", err)
+	}
+	writeString := func(s string) error {
+		if err := binary.Write(cw, le, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+	for i, f := range schema {
+		if err := binary.Write(cw, le, uint16(len(f.Name))); err != nil {
+			return fmt.Errorf("durable: writing column %q: %w", f.Name, err)
+		}
+		if _, err := io.WriteString(cw, f.Name); err != nil {
+			return fmt.Errorf("durable: writing column %q: %w", f.Name, err)
+		}
+		if err := binary.Write(cw, le, uint8(f.Type)); err != nil {
+			return fmt.Errorf("durable: writing column %q: %w", f.Name, err)
+		}
+		var err error
+		switch col := t.ColumnAt(i).(type) {
+		case relational.Int64Column:
+			err = binary.Write(cw, le, []int64(col))
+		case relational.Float64Column:
+			err = binary.Write(cw, le, []float64(col))
+		case relational.StringColumn:
+			for _, s := range col {
+				if err = writeString(s); err != nil {
+					break
+				}
+			}
+		case relational.TimeColumn:
+			for _, ts := range col {
+				if err = binary.Write(cw, le, ts.Unix()); err != nil {
+					break
+				}
+				if err = binary.Write(cw, le, int32(ts.Nanosecond())); err != nil {
+					break
+				}
+			}
+		case relational.BoolColumn:
+			bs := make([]byte, len(col))
+			for r, b := range col {
+				if b {
+					bs[r] = 1
+				}
+			}
+			_, err = cw.Write(bs)
+		case *relational.VectorColumn:
+			if err = binary.Write(cw, le, uint32(col.Dim)); err != nil {
+				break
+			}
+			for _, v := range col.Data {
+				if err = binary.Write(cw, le, math.Float32bits(v)); err != nil {
+					break
+				}
+			}
+		default:
+			err = fmt.Errorf("unsupported column type %v", f.Type)
+		}
+		if err != nil {
+			return fmt.Errorf("durable: writing column %q: %w", f.Name, err)
+		}
+	}
+	if err := binary.Write(bw, le, cw.sum.Sum32()); err != nil {
+		return fmt.Errorf("durable: writing table checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadTable deserializes a table written by WriteTable, verifying the
+// trailing checksum before returning it.
+func ReadTable(r io.Reader) (*relational.Table, error) {
+	cr := newCRCReader(bufio.NewReaderSize(r, 1<<16))
+	le := binary.LittleEndian
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("durable: reading table header: %w", err)
+	}
+	if magic != tblMagic {
+		return nil, fmt.Errorf("durable: bad table magic %q", magic)
+	}
+	var numCols uint32
+	var numRows uint64
+	if err := binary.Read(cr, le, &numCols); err != nil {
+		return nil, fmt.Errorf("durable: reading table header: %w", err)
+	}
+	if err := binary.Read(cr, le, &numRows); err != nil {
+		return nil, fmt.Errorf("durable: reading table header: %w", err)
+	}
+	if numCols > maxTableCols {
+		return nil, fmt.Errorf("durable: implausible column count %d", numCols)
+	}
+	rows := int(numRows)
+	if rows < 0 {
+		return nil, fmt.Errorf("durable: implausible row count %d", numRows)
+	}
+	readString := func() (string, error) {
+		var n uint32
+		if err := binary.Read(cr, le, &n); err != nil {
+			return "", err
+		}
+		if n > maxInputLen {
+			return "", fmt.Errorf("implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	// chunked grows a column readChunkRows at a time, so allocation tracks
+	// bytes actually present in the file: a corrupt row count hits a short
+	// read after one bounded chunk instead of a huge upfront make().
+	chunked := func(total int, read func(n int) error) error {
+		for done := 0; done < total; {
+			n := total - done
+			if n > readChunkRows {
+				n = readChunkRows
+			}
+			if err := read(n); err != nil {
+				return err
+			}
+			done += n
+		}
+		return nil
+	}
+
+	schema := make(relational.Schema, numCols)
+	cols := make([]relational.Column, numCols)
+	for i := range cols {
+		var nameLen uint16
+		if err := binary.Read(cr, le, &nameLen); err != nil {
+			return nil, fmt.Errorf("durable: reading column %d: %w", i, err)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(cr, nameBuf); err != nil {
+			return nil, fmt.Errorf("durable: reading column %d: %w", i, err)
+		}
+		var typ uint8
+		if err := binary.Read(cr, le, &typ); err != nil {
+			return nil, fmt.Errorf("durable: reading column %d: %w", i, err)
+		}
+		schema[i] = relational.Field{Name: string(nameBuf), Type: relational.Type(typ)}
+		var err error
+		switch relational.Type(typ) {
+		case relational.Int64:
+			col := relational.Int64Column{}
+			err = chunked(rows, func(n int) error {
+				buf := make([]int64, n)
+				if err := binary.Read(cr, le, buf); err != nil {
+					return err
+				}
+				col = append(col, buf...)
+				return nil
+			})
+			cols[i] = col
+		case relational.Float64:
+			col := relational.Float64Column{}
+			err = chunked(rows, func(n int) error {
+				buf := make([]float64, n)
+				if err := binary.Read(cr, le, buf); err != nil {
+					return err
+				}
+				col = append(col, buf...)
+				return nil
+			})
+			cols[i] = col
+		case relational.String:
+			col := relational.StringColumn{}
+			for r := 0; r < rows; r++ {
+				var s string
+				if s, err = readString(); err != nil {
+					break
+				}
+				col = append(col, s)
+			}
+			cols[i] = col
+		case relational.Time:
+			col := relational.TimeColumn{}
+			for r := 0; r < rows; r++ {
+				var sec int64
+				var nsec int32
+				if err = binary.Read(cr, le, &sec); err != nil {
+					break
+				}
+				if err = binary.Read(cr, le, &nsec); err != nil {
+					break
+				}
+				col = append(col, time.Unix(sec, int64(nsec)).UTC())
+			}
+			cols[i] = col
+		case relational.Bool:
+			col := relational.BoolColumn{}
+			err = chunked(rows, func(n int) error {
+				bs := make([]byte, n)
+				if _, err := io.ReadFull(cr, bs); err != nil {
+					return err
+				}
+				for _, b := range bs {
+					col = append(col, b != 0)
+				}
+				return nil
+			})
+			cols[i] = col
+		case relational.Vector:
+			var dim uint32
+			if err = binary.Read(cr, le, &dim); err != nil {
+				break
+			}
+			if dim > maxVectorDim {
+				return nil, fmt.Errorf("durable: implausible vector dim %d", dim)
+			}
+			total := uint64(rows) * uint64(dim)
+			if total > 1<<33 {
+				return nil, fmt.Errorf("durable: implausible vector column size %d x %d", rows, dim)
+			}
+			col := &relational.VectorColumn{Dim: int(dim)}
+			err = chunked(int(total), func(n int) error {
+				buf := make([]uint32, n)
+				if err := binary.Read(cr, le, buf); err != nil {
+					return err
+				}
+				for _, bits := range buf {
+					col.Data = append(col.Data, math.Float32frombits(bits))
+				}
+				return nil
+			})
+			cols[i] = col
+		default:
+			return nil, fmt.Errorf("durable: column %q has unknown type %d", schema[i].Name, typ)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("durable: reading column %q: %w", schema[i].Name, err)
+		}
+	}
+	want := cr.sum.Sum32()
+	var crc uint32
+	if err := binary.Read(cr.r, le, &crc); err != nil {
+		return nil, fmt.Errorf("durable: reading table checksum: %w", err)
+	}
+	if crc != want {
+		return nil, fmt.Errorf("durable: table failed checksum (corrupt file?)")
+	}
+	return relational.NewTable(schema, cols)
+}
+
+// WriteTableFile atomically writes t to path.
+func WriteTableFile(path string, t *relational.Table) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return WriteTable(w, t)
+	})
+}
+
+// ReadTableFile reads a table file written by WriteTableFile.
+func ReadTableFile(path string) (*relational.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening table file %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadTable(f)
+}

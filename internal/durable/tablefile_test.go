@@ -1,0 +1,199 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ejoin/internal/relational"
+)
+
+// fullTable builds a table exercising every column type.
+func fullTable(t *testing.T) *relational.Table {
+	t.Helper()
+	vec, err := relational.NewVectorColumn([][]float32{
+		{0.1, 0.2, 0.3},
+		{-1, 0, 1},
+		{4.5, -6.25, 0.0625},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relational.Schema{
+		{Name: "id", Type: relational.Int64},
+		{Name: "price", Type: relational.Float64},
+		{Name: "name", Type: relational.String},
+		{Name: "when", Type: relational.Time},
+		{Name: "ok", Type: relational.Bool},
+		{Name: "emb", Type: relational.Vector},
+	}
+	tbl, err := relational.NewTable(schema, []relational.Column{
+		relational.Int64Column{1, -2, 3},
+		relational.Float64Column{0.5, -1.25, 9000},
+		relational.StringColumn{"barbecue", "", "data, \"base\"\nnewline"},
+		relational.TimeColumn{
+			time.Date(2024, 3, 1, 12, 30, 45, 123456789, time.UTC),
+			time.Unix(0, 0).UTC(),
+			time.Date(1969, 12, 31, 23, 59, 59, 0, time.UTC),
+		},
+		relational.BoolColumn{true, false, true},
+		vec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	orig := fullTable(t)
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	if err := WriteTableFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != orig.NumRows() || got.NumCols() != orig.NumCols() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.NumRows(), got.NumCols(), orig.NumRows(), orig.NumCols())
+	}
+	for c := range orig.Schema() {
+		of, gf := orig.Schema()[c], got.Schema()[c]
+		if of.Name != gf.Name || of.Type != gf.Type {
+			t.Fatalf("schema field %d: %+v vs %+v", c, gf, of)
+		}
+	}
+	for c := 0; c < orig.NumCols(); c++ {
+		switch ocol := orig.ColumnAt(c).(type) {
+		case relational.Int64Column:
+			for r, v := range ocol {
+				if got.ColumnAt(c).(relational.Int64Column)[r] != v {
+					t.Fatalf("int col row %d", r)
+				}
+			}
+		case relational.Float64Column:
+			for r, v := range ocol {
+				if got.ColumnAt(c).(relational.Float64Column)[r] != v {
+					t.Fatalf("float col row %d", r)
+				}
+			}
+		case relational.StringColumn:
+			for r, v := range ocol {
+				if got.ColumnAt(c).(relational.StringColumn)[r] != v {
+					t.Fatalf("string col row %d: %q", r, got.ColumnAt(c).(relational.StringColumn)[r])
+				}
+			}
+		case relational.TimeColumn:
+			for r, v := range ocol {
+				if !got.ColumnAt(c).(relational.TimeColumn)[r].Equal(v) {
+					t.Fatalf("time col row %d: %v vs %v", r, got.ColumnAt(c).(relational.TimeColumn)[r], v)
+				}
+			}
+		case relational.BoolColumn:
+			for r, v := range ocol {
+				if got.ColumnAt(c).(relational.BoolColumn)[r] != v {
+					t.Fatalf("bool col row %d", r)
+				}
+			}
+		case *relational.VectorColumn:
+			gcol := got.ColumnAt(c).(*relational.VectorColumn)
+			if gcol.Dim != ocol.Dim {
+				t.Fatalf("vector dim %d, want %d", gcol.Dim, ocol.Dim)
+			}
+			for i, v := range ocol.Data {
+				if gcol.Data[i] != v {
+					t.Fatalf("vector data %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestTableFileDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	if err := WriteTableFile(path, fullTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte somewhere in the middle; the trailing CRC must catch
+	// it no matter which field it lands in.
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTableFile(path); err == nil {
+		t.Fatal("corrupted table file read back without error")
+	}
+}
+
+func TestManifestRoundTripAndMutation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestName)
+
+	// Missing file = empty manifest.
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 0 {
+		t.Fatalf("fresh manifest has %d tables", len(m.Tables))
+	}
+
+	m.Upsert(TableEntry{Name: "zeta", File: "tables/zeta.tbl", Rows: 3, Cols: 2})
+	m.Upsert(TableEntry{Name: "alpha", File: "tables/alpha.tbl", Rows: 1, Cols: 1})
+	m.Upsert(TableEntry{Name: "zeta", File: "tables/zeta.tbl", Rows: 9, Cols: 2}) // replace
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 2 {
+		t.Fatalf("manifest has %d tables, want 2", len(got.Tables))
+	}
+	if got.Tables[0].Name != "alpha" || got.Tables[1].Name != "zeta" {
+		t.Errorf("manifest not sorted: %+v", got.Tables)
+	}
+	if got.Tables[1].Rows != 9 {
+		t.Errorf("upsert-replace lost: %+v", got.Tables[1])
+	}
+	if !got.Remove("alpha") || got.Remove("alpha") {
+		t.Error("remove semantics broken")
+	}
+
+	// Version gate: a future-format manifest is refused, not misread.
+	if err := os.WriteFile(path, []byte(`{"version": 99, "tables": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Error("future manifest version accepted")
+	}
+}
+
+func TestTableFileCorruptRowCountFailsFast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	if err := WriteTableFile(path, fullTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// numRows is the u64 at offset 12 (after magic and numCols). Blow it
+	// up to ~2^40: the reader must fail on a short read after at most one
+	// bounded chunk — not attempt a terabyte-scale allocation (the CRC
+	// only runs at end-of-file, so the bound must not depend on it).
+	data[12+5] = 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTableFile(path); err == nil {
+		t.Fatal("corrupt row count read back without error")
+	}
+}

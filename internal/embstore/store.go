@@ -122,6 +122,17 @@ type Store struct {
 	cfg    Config
 	shards []*shard
 
+	// onInsert, when set, observes every model-computed entry the store
+	// caches (the durable layer's write-behind hook). Loaded atomically so
+	// SetOnInsert is safe while lookups run.
+	onInsert atomic.Pointer[func(fp, input string, vec []float32)]
+
+	// countsMu guards counts, the per-fingerprint entry tally maintained
+	// at insert/evict time so ModelEntries is O(models), not a scan of
+	// every shard under its lock.
+	countsMu sync.Mutex
+	counts   map[string]int
+
 	hits       atomic.Int64
 	misses     atomic.Int64
 	merged     atomic.Int64
@@ -150,7 +161,7 @@ func New(cfg Config) *Store {
 	if cfg.Threads <= 0 {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
-	s := &Store{cfg: cfg, shards: make([]*shard, n)}
+	s := &Store{cfg: cfg, shards: make([]*shard, n), counts: make(map[string]int)}
 	perShard := int64(0)
 	if cfg.MaxBytes > 0 {
 		perShard = cfg.MaxBytes / int64(n)
@@ -171,6 +182,40 @@ func New(cfg Config) *Store {
 
 // key builds the cache key for one (fingerprint, input) pair.
 func key(fp, input string) string { return fp + "\x00" + input }
+
+// splitKey undoes key: the fingerprint and input of one cache key.
+func splitKey(k string) (fp, input string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}
+
+// SetOnInsert installs fn as the store's insert observer: it is invoked
+// once for every entry the store caches from a model call (not for
+// entries loaded via Put, so a startup loader does not re-persist what it
+// just read). fn runs outside shard locks but on the inserting
+// goroutine's path — it should hand off quickly (e.g. enqueue to a
+// write-behind channel). Pass nil to detach.
+func (s *Store) SetOnInsert(fn func(fp, input string, vec []float32)) {
+	if fn == nil {
+		s.onInsert.Store(nil)
+		return
+	}
+	s.onInsert.Store(&fn)
+}
+
+// notifyInsert invokes the insert observer, giving it its own copy.
+func (s *Store) notifyInsert(k string, v []float32) {
+	p := s.onInsert.Load()
+	if p == nil {
+		return
+	}
+	fp, input := splitKey(k)
+	(*p)(fp, input, cloneVec(v))
+}
 
 // shardFor picks the lock domain for a key (FNV-1a).
 func (s *Store) shardFor(k string) *shard {
@@ -237,6 +282,9 @@ func (s *Store) Reset() {
 	s.merged.Store(0)
 	s.evictions.Store(0)
 	s.modelCalls.Store(0)
+	s.countsMu.Lock()
+	s.counts = make(map[string]int)
+	s.countsMu.Unlock()
 }
 
 // Get returns the unit-norm embedding of input under m, from cache when
@@ -318,8 +366,75 @@ func (s *Store) publish(sh *shard, k string, fl *flight, v []float32, err error)
 		s.insertLocked(sh, k, v)
 	}
 	sh.mu.Unlock()
+	if err == nil {
+		s.notifyInsert(k, v)
+	}
 	fl.vec, fl.err = v, err
 	close(fl.done)
+}
+
+// Put inserts a pre-computed, unit-norm embedding for (fp, input) — the
+// durable layer's startup loader path. It bypasses the model, does not
+// touch hit/miss statistics, and does not fire the insert observer (a
+// loaded entry is already persisted). An existing entry wins: replayed
+// duplicates are no-ops. Eviction applies as usual, so a log larger than
+// the memory budget loads its most recently appended suffix.
+func (s *Store) Put(fp, input string, v []float32) {
+	k := key(fp, input)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	s.insertLocked(sh, k, cloneVec(v))
+	sh.mu.Unlock()
+}
+
+// Range calls fn for every cached entry until fn returns false. The
+// vector passed to fn is a fresh copy; iteration order is unspecified.
+// Each shard's snapshot is taken under its lock, but fn runs outside any
+// lock, so fn may call back into the store. Entries inserted or evicted
+// concurrently may or may not be observed — Range is a snapshot-ish
+// export iterator (the persister's compaction source and the /stats
+// per-model counter), not a consistency point.
+func (s *Store) Range(fn func(fp, input string, vec []float32) bool) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		snap := make([]*entry, 0, len(sh.entries))
+		for _, el := range sh.entries {
+			snap = append(snap, el.Value.(*entry))
+		}
+		sh.mu.Unlock()
+		for _, e := range snap {
+			fp, input := splitKey(e.key)
+			if !fn(fp, input, cloneVec(e.vec)) {
+				return
+			}
+		}
+	}
+}
+
+// ModelEntries counts cached entries per model fingerprint — the /stats
+// surface PR 1 could not report because the store had no export
+// iterator. Served from counters maintained at insert/evict time, so
+// stats scrapers never walk the cache under shard locks.
+func (s *Store) ModelEntries() map[string]int {
+	s.countsMu.Lock()
+	defer s.countsMu.Unlock()
+	out := make(map[string]int, len(s.counts))
+	for fp, n := range s.counts {
+		out[fp] = n
+	}
+	return out
+}
+
+// countEntry adjusts the per-fingerprint tally for key k by delta,
+// dropping zeroed fingerprints so evicted models disappear from stats.
+func (s *Store) countEntry(k string, delta int) {
+	fp, _ := splitKey(k)
+	s.countsMu.Lock()
+	s.counts[fp] += delta
+	if s.counts[fp] <= 0 {
+		delete(s.counts, fp)
+	}
+	s.countsMu.Unlock()
 }
 
 // insertLocked adds an entry and evicts LRU tails past the shard budget.
@@ -334,6 +449,7 @@ func (s *Store) insertLocked(sh *shard, k string, v []float32) {
 	el := sh.lru.PushFront(&entry{key: k, vec: v})
 	sh.entries[k] = el
 	sh.bytes += entryBytes(k, v)
+	s.countEntry(k, 1)
 	if sh.maxBytes <= 0 {
 		return
 	}
@@ -346,6 +462,7 @@ func (s *Store) insertLocked(sh *shard, k string, v []float32) {
 		sh.lru.Remove(tail)
 		delete(sh.entries, ev.key)
 		sh.bytes -= entryBytes(ev.key, ev.vec)
+		s.countEntry(ev.key, -1)
 		s.evictions.Add(1)
 	}
 }

@@ -588,3 +588,139 @@ func TestEmbedAllThreadsOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutRangeModelEntries(t *testing.T) {
+	s := New(Config{})
+	m := testModel(t, 16)
+	fp := Fingerprint(m)
+
+	// Put is the loader path: no model, no stats, no hook.
+	var hookCalls atomic.Int64
+	s.SetOnInsert(func(fp, input string, vec []float32) { hookCalls.Add(1) })
+	want := map[string][]float32{}
+	for i := 0; i < 50; i++ {
+		in := fmt.Sprintf("loaded-%d", i)
+		v := normalized(t, m, in)
+		s.Put(fp, in, v)
+		want[in] = v
+	}
+	s.Put("other/8", "foreign", []float32{1, 0, 0})
+	if got := s.Len(); got != 51 {
+		t.Fatalf("Len = %d, want 51", got)
+	}
+	if hookCalls.Load() != 0 {
+		t.Errorf("Put fired the insert hook %d times; the loader path must not re-persist", hookCalls.Load())
+	}
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.ModelCalls != 0 {
+		t.Errorf("Put moved lookup stats: %+v", st)
+	}
+
+	// Loaded entries are served as cache hits with correct values.
+	got, err := s.Get(context.Background(), m, "loaded-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsEqual(got, want["loaded-7"]) {
+		t.Error("Put entry served wrong vector")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.ModelCalls != 0 {
+		t.Errorf("loaded entry was not a pure hit: %+v", st)
+	}
+
+	// Range exports every entry exactly once, split back into (fp, input).
+	seen := map[string]int{}
+	s.Range(func(gotFP, input string, vec []float32) bool {
+		if gotFP == fp {
+			if !vecsEqual(vec, want[input]) {
+				t.Errorf("Range vector mismatch for %q", input)
+			}
+		} else if gotFP != "other/8" || input != "foreign" {
+			t.Errorf("Range surfaced unknown entry %q/%q", gotFP, input)
+		}
+		seen[gotFP+"\x00"+input]++
+		return true
+	})
+	if len(seen) != 51 {
+		t.Errorf("Range visited %d entries, want 51", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("Range visited %q %d times", k, n)
+		}
+	}
+
+	// Early termination.
+	visits := 0
+	s.Range(func(string, string, []float32) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("Range ignored false return (%d visits)", visits)
+	}
+
+	// Per-model counts: the /stats surface.
+	entries := s.ModelEntries()
+	if entries[fp] != 50 || entries["other/8"] != 1 {
+		t.Errorf("ModelEntries = %v", entries)
+	}
+}
+
+func TestOnInsertHookObservesModelComputedEntries(t *testing.T) {
+	s := New(Config{})
+	m := testModel(t, 8)
+	fp := Fingerprint(m)
+
+	type rec struct {
+		fp, input string
+		vec       []float32
+	}
+	var mu sync.Mutex
+	var got []rec
+	s.SetOnInsert(func(fp, input string, vec []float32) {
+		mu.Lock()
+		got = append(got, rec{fp, input, vec})
+		mu.Unlock()
+	})
+
+	if _, err := s.Get(context.Background(), m, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// A hit must not re-fire the hook.
+	if _, err := s.Get(context.Background(), m, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// Batch inserts fire per distinct new input.
+	if _, _, err := s.EmbedAll(context.Background(), m, []string{"beta", "alpha", "beta", "gamma"}, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("hook fired %d times, want 3 (alpha, beta, gamma)", len(got))
+	}
+	inputs := map[string]bool{}
+	for _, r := range got {
+		if r.fp != fp {
+			t.Errorf("hook fingerprint %q, want %q", r.fp, fp)
+		}
+		if !vecsEqual(r.vec, normalized(t, m, r.input)) {
+			t.Errorf("hook vector for %q differs from the cached embedding", r.input)
+		}
+		inputs[r.input] = true
+	}
+	if !inputs["alpha"] || !inputs["beta"] || !inputs["gamma"] {
+		t.Errorf("hook inputs = %v", inputs)
+	}
+
+	// Detach: no further callbacks.
+	s.SetOnInsert(nil)
+	if _, err := s.Get(context.Background(), m, "delta"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("hook fired after detach")
+	}
+}

@@ -17,6 +17,17 @@ import (
 
 var persistMagic = [8]byte{'E', 'J', 'H', 'N', 'S', 'W', '0', '1'}
 
+// SnapshotKind is the durable-layer identifier for HNSW payloads.
+const SnapshotKind = "hnsw"
+
+// Kind implements vindex.Snapshotter.
+func (ix *Index) Kind() string { return SnapshotKind }
+
+// WriteSnapshot implements vindex.Snapshotter by delegating to Save: the
+// existing format is already versioned (magic EJHNSW01) and
+// self-contained.
+func (ix *Index) WriteSnapshot(w io.Writer) error { return ix.Save(w) }
+
 // Save writes the index. The index must not be mutated concurrently.
 func (ix *Index) Save(w io.Writer) error {
 	ix.mu.RLock()

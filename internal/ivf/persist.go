@@ -1,0 +1,176 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ejoin/internal/mat"
+)
+
+// Binary serialization of the index. IVF construction is cheaper than
+// HNSW's but k-means over a large corpus is still seconds of work probed
+// for milliseconds, so the durable layer snapshots built indexes and
+// restores them on boot. The format is little-endian, versioned via the
+// magic, and self-contained: configuration, centroids, inverted lists,
+// and the normalized vectors.
+
+var persistMagic = [8]byte{'E', 'J', 'I', 'V', 'F', '0', '0', '1'}
+
+// SnapshotKind is the durable-layer identifier for IVF-Flat payloads.
+const SnapshotKind = "ivf-flat"
+
+// Kind implements vindex.Snapshotter.
+func (ix *Index) Kind() string { return SnapshotKind }
+
+// WriteSnapshot implements vindex.Snapshotter by delegating to Save.
+func (ix *Index) WriteSnapshot(w io.Writer) error { return ix.Save(w) }
+
+// Save writes the index. The index must not be mutated concurrently
+// (built IVF indexes are immutable, so any built index qualifies).
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return fmt.Errorf("ivf: writing header: %w", err)
+	}
+	le := binary.LittleEndian
+	writeU64 := func(v uint64) error { return binary.Write(bw, le, v) }
+
+	n := ix.vectors.Rows()
+	hdr := []uint64{
+		uint64(ix.dim),
+		uint64(len(ix.lists)),
+		uint64(ix.cfg.KMeansIters),
+		uint64(ix.cfg.Seed),
+		uint64(ix.cfg.NProbe),
+		uint64(n),
+	}
+	for _, v := range hdr {
+		if err := writeU64(v); err != nil {
+			return fmt.Errorf("ivf: writing header: %w", err)
+		}
+	}
+	writeMat := func(m *mat.Matrix, what string) error {
+		for _, v := range m.Data {
+			if err := binary.Write(bw, le, math.Float32bits(v)); err != nil {
+				return fmt.Errorf("ivf: writing %s: %w", what, err)
+			}
+		}
+		return nil
+	}
+	if err := writeMat(ix.centroids, "centroids"); err != nil {
+		return err
+	}
+	for _, list := range ix.lists {
+		if err := writeU64(uint64(len(list))); err != nil {
+			return fmt.Errorf("ivf: writing lists: %w", err)
+		}
+		for _, id := range list {
+			if err := writeU64(uint64(id)); err != nil {
+				return fmt.Errorf("ivf: writing lists: %w", err)
+			}
+		}
+	}
+	if err := writeMat(ix.vectors, "vectors"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads an index saved with Save. DistanceCalls starts at zero.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("ivf: reading header: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("ivf: bad magic %q (not an ejoin IVF file?)", magic)
+	}
+	le := binary.LittleEndian
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	var hdr [6]uint64
+	for i := range hdr {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading header: %w", err)
+		}
+		hdr[i] = v
+	}
+	dim := int(hdr[0])
+	nlists := int(hdr[1])
+	n := int(hdr[5])
+	if dim <= 0 || nlists <= 0 || n < 0 {
+		return nil, fmt.Errorf("ivf: corrupt header (dim=%d nlists=%d n=%d)", dim, nlists, n)
+	}
+	const maxReasonable = 1 << 32
+	if uint64(n)*uint64(dim) > maxReasonable || uint64(nlists)*uint64(dim) > maxReasonable {
+		return nil, fmt.Errorf("ivf: implausible size %d x %d (%d lists)", n, dim, nlists)
+	}
+	cfg := Config{
+		NLists:      nlists,
+		KMeansIters: int(hdr[2]),
+		Seed:        int64(hdr[3]),
+		NProbe:      int(hdr[4]),
+	}
+
+	readMat := func(rows int, what string) (*mat.Matrix, error) {
+		m := mat.New(rows, dim)
+		for i := range m.Data {
+			var bits uint32
+			if err := binary.Read(br, le, &bits); err != nil {
+				return nil, fmt.Errorf("ivf: reading %s: %w", what, err)
+			}
+			m.Data[i] = math.Float32frombits(bits)
+		}
+		return m, nil
+	}
+	centroids, err := readMat(nlists, "centroids")
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]int, nlists)
+	total := 0
+	for c := range lists {
+		sz, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading list %d: %w", c, err)
+		}
+		if sz > uint64(n) {
+			return nil, fmt.Errorf("ivf: corrupt list %d (len=%d n=%d)", c, sz, n)
+		}
+		list := make([]int, sz)
+		for i := range list {
+			id, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("ivf: reading list %d: %w", c, err)
+			}
+			if int(id) >= n {
+				return nil, fmt.Errorf("ivf: corrupt id %d in list %d (n=%d)", id, c, n)
+			}
+			list[i] = int(id)
+		}
+		lists[c] = list
+		total += len(list)
+	}
+	if total != n {
+		return nil, fmt.Errorf("ivf: lists hold %d ids, index has %d vectors", total, n)
+	}
+	vectors, err := readMat(n, "vectors")
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		cfg:       cfg,
+		dim:       dim,
+		centroids: centroids,
+		lists:     lists,
+		vectors:   vectors,
+	}, nil
+}

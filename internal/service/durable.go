@@ -1,0 +1,270 @@
+package service
+
+// Durable engine lifecycle: Open recovers an engine from a data
+// directory, the insert hook persists new embeddings write-behind,
+// RegisterTable/DropTable keep the table manifest in step with the
+// catalog, and Snapshot/Close flush and compact. A memory-only engine
+// (NewEngine, or Open with an empty DataDir) skips all of it.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ejoin/internal/durable"
+	"ejoin/internal/relational"
+)
+
+// durableState is the engine's persistence arm.
+type durableState struct {
+	layout    durable.Layout
+	log       *durable.Log
+	persister *durable.Persister
+
+	// mu serializes manifest read-modify-write cycles (catalog mutations
+	// are already safe; this guards the durable mirror of them).
+	mu       sync.Mutex
+	manifest durable.Manifest
+
+	loadedEntries int64
+	loadedTables  int
+	warnings      []string
+	snapshots     int64
+}
+
+// Open builds an Engine like NewEngine and, when cfg.DataDir is set,
+// recovers durable state from it: the manifest's tables are read
+// (checksum-verified) and registered, the embedding segment log is
+// replayed into the store (torn tails truncated, corrupt records
+// skipped — never served), and a write-behind persister is attached so
+// every embedding computed from here on reaches disk. The returned
+// engine must be Closed to flush the log.
+func Open(cfg Config) (*Engine, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataDir == "" {
+		return e, nil
+	}
+	d := &durableState{layout: durable.Layout{Dir: cfg.DataDir}}
+	if err := d.layout.Create(); err != nil {
+		return nil, err
+	}
+
+	// Tables first: queries arriving right after Open see the catalog.
+	d.manifest, err = durable.ReadManifest(d.layout.ManifestPath())
+	if err != nil {
+		return nil, err
+	}
+	kept := d.manifest.Tables[:0]
+	for _, entry := range d.manifest.Tables {
+		t, err := durable.ReadTableFile(d.layout.TablePath(entry.Name))
+		if err != nil {
+			// A missing or corrupt table file must not block startup or
+			// serve bad rows: drop the entry, keep the warning.
+			d.warnings = append(d.warnings, fmt.Sprintf("table %q not recovered: %v", entry.Name, err))
+			continue
+		}
+		e.catalog.Register(entry.Name, t)
+		kept = append(kept, entry)
+		d.loadedTables++
+	}
+	if len(kept) != len(d.manifest.Tables) {
+		d.manifest.Tables = kept
+		if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+			return nil, err
+		}
+	}
+	e.plans.purgeStale(e.catalog.Generation())
+
+	// Embedding log: replay into the store via Put (no model calls, no
+	// persist hook), then attach the write-behind persister.
+	log, loaded, err := durable.LoadStore(d.layout.EmbDir(), durable.LogConfig{SegmentBytes: cfg.SegmentBytes}, e.store)
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	d.loadedEntries = loaded
+	d.persister = durable.NewPersister(log, cfg.PersistQueue)
+	d.persister.Attach(e.store)
+
+	e.durable = d
+	return e, nil
+}
+
+// DataDir is the engine's data directory ("" when memory-only).
+func (e *Engine) DataDir() string {
+	if e.durable == nil {
+		return ""
+	}
+	return e.durable.layout.Dir
+}
+
+// Close flushes and detaches the durable layer: the write-behind queue
+// drains, the log fsyncs, and files close. Idempotent; a memory-only
+// engine Closes as a no-op. In-flight queries are not interrupted — stop
+// accepting queries (e.g. drain HTTP) before closing.
+func (e *Engine) Close() error {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	e.store.SetOnInsert(nil)
+	var firstErr error
+	if err := d.persister.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := d.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// SnapshotInfo reports what one Snapshot call did.
+type SnapshotInfo struct {
+	// Entries is the number of live cache entries in the compacted log.
+	Entries int64 `json:"entries"`
+	// SegmentsRemoved is how many pre-compaction segments were deleted.
+	SegmentsRemoved int `json:"segments_removed"`
+	// LogBytes is the log size after compaction.
+	LogBytes int64 `json:"log_bytes"`
+	// Tables is the number of tables in the manifest.
+	Tables int `json:"tables"`
+	// Elapsed is wall time spent snapshotting.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Snapshot forces the durable state current and minimal: the write-behind
+// queue flushes, the embedding log compacts down to the store's live
+// entries (dropping evicted and superseded records), and the table
+// manifest rewrites. Concurrent queries keep running; appends block only
+// for the compaction itself.
+func (e *Engine) Snapshot() (SnapshotInfo, error) {
+	d := e.durable
+	if d == nil {
+		return SnapshotInfo{}, fmt.Errorf("%w: snapshot requires Open with DataDir", ErrNotDurable)
+	}
+	start := time.Now()
+	if err := d.persister.Flush(); err != nil {
+		return SnapshotInfo{}, err
+	}
+	var info SnapshotInfo
+	removed, err := d.log.Compact(func(emit func(durable.Record) error) error {
+		var inner error
+		e.store.Range(func(fp, input string, vec []float32) bool {
+			if err := emit(durable.Record{Fingerprint: fp, Input: input, Vec: vec}); err != nil {
+				inner = err
+				return false
+			}
+			info.Entries++
+			return true
+		})
+		return inner
+	})
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	info.SegmentsRemoved = removed
+
+	d.mu.Lock()
+	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+		d.mu.Unlock()
+		return SnapshotInfo{}, err
+	}
+	info.Tables = len(d.manifest.Tables)
+	d.snapshots++
+	d.mu.Unlock()
+
+	info.LogBytes = d.log.Stats().Bytes
+	info.Elapsed = time.Since(start)
+	return info, nil
+}
+
+// persistTable mirrors one catalog registration into the data directory.
+// Memory-only engines return nil immediately.
+func (e *Engine) persistTable(name string, t *relational.Table) error {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	name = strings.ToLower(name) // the catalog's canonical form
+	path := d.layout.TablePath(name)
+	if err := durable.WriteTableFile(path, t); err != nil {
+		return fmt.Errorf("%w: table %q: %v", ErrPersist, name, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.manifest.Upsert(durable.TableEntry{
+		Name: name,
+		File: d.layout.TableFileRel(name),
+		Rows: t.NumRows(),
+		Cols: t.NumCols(),
+	})
+	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+		return fmt.Errorf("%w: manifest: %v", ErrPersist, err)
+	}
+	return nil
+}
+
+// unpersistTable mirrors one catalog drop. Best effort: the catalog drop
+// already happened, and a stale file without a manifest entry is an
+// orphan the next Open ignores.
+func (e *Engine) unpersistTable(name string) {
+	d := e.durable
+	if d == nil {
+		return
+	}
+	name = strings.ToLower(name)
+	d.mu.Lock()
+	if d.manifest.Remove(name) {
+		_ = d.manifest.Write(d.layout.ManifestPath())
+	}
+	d.mu.Unlock()
+	_ = os.Remove(d.layout.TablePath(name))
+}
+
+// DurableStats is the persistence arm's observability surface.
+type DurableStats struct {
+	// DataDir is the engine's data directory.
+	DataDir string `json:"data_dir"`
+	// LoadedEntries is how many cache entries Open replayed from the log.
+	LoadedEntries int64 `json:"loaded_entries"`
+	// LoadedTables is how many tables Open recovered from the manifest.
+	LoadedTables int `json:"loaded_tables"`
+	// Persister describes the write-behind queue.
+	Persister durable.PersisterStats `json:"persister"`
+	// Log describes the segment log, including recovery findings.
+	Log durable.LogStats `json:"log"`
+	// Snapshots counts successful Snapshot calls.
+	Snapshots int64 `json:"snapshots"`
+	// Warnings lists non-fatal recovery findings (skipped tables,
+	// truncated segments).
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// durableStats snapshots the durable layer, or nil for memory-only
+// engines.
+func (e *Engine) durableStats() *DurableStats {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	snaps := d.snapshots
+	warnings := append([]string(nil), d.warnings...)
+	d.mu.Unlock()
+	ls := d.log.Stats()
+	warnings = append(warnings, ls.Recovery.Reasons...)
+	return &DurableStats{
+		DataDir:       d.layout.Dir,
+		LoadedEntries: d.loadedEntries,
+		LoadedTables:  d.loadedTables,
+		Persister:     d.persister.Stats(),
+		Log:           ls,
+		Snapshots:     snaps,
+		Warnings:      warnings,
+	}
+}

@@ -409,7 +409,7 @@ func TestEngineTablesAndCSV(t *testing.T) {
 		{Name: "sku", Type: relational.Int64},
 		{Name: "name", Type: relational.String},
 	}
-	rows, err := e.RegisterCSV("catalog", schema, strings.NewReader("sku,name\n1,barbecue\n2,database\n"))
+	rows, err := e.RegisterCSV("catalog", schema, strings.NewReader("sku,name\n1,barbecue\n2,database\n"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,19 @@ func TestEngineTablesAndCSV(t *testing.T) {
 	if len(tables) != 1 || tables[0].Name != "catalog" || tables[0].Rows != 2 || tables[0].Cols != 2 {
 		t.Errorf("tables = %+v", tables)
 	}
-	if _, err := e.RegisterCSV("bad", schema, strings.NewReader("nope\n")); err == nil {
+	// Create-vs-replace is explicit: a duplicate create is rejected with
+	// ErrTableExists before the CSV is read; replace overwrites.
+	if _, err := e.RegisterCSV("catalog", schema, strings.NewReader("sku,name\n9,espresso\n"), false); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate create error = %v, want ErrTableExists", err)
+	}
+	if got, _ := e.Catalog().Get("catalog"); got == nil || got.NumRows() != 2 {
+		t.Error("rejected duplicate create must leave the table untouched")
+	}
+	rows, err = e.RegisterCSV("catalog", schema, strings.NewReader("sku,name\n9,espresso\n"), true)
+	if err != nil || rows != 1 {
+		t.Errorf("replace ingest = (%d, %v), want (1, nil)", rows, err)
+	}
+	if _, err := e.RegisterCSV("bad", schema, strings.NewReader("nope\n"), false); err == nil {
 		t.Error("malformed CSV accepted")
 	}
 	if err := e.RegisterTable("", nil); err == nil {

@@ -24,6 +24,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -83,6 +84,16 @@ type Config struct {
 	BudgetBytes int64
 	// CostParams parametrizes the planner; zero value uses defaults.
 	CostParams cost.Params
+	// DataDir, when non-empty, makes the engine durable: Open recovers
+	// tables and cached embeddings from it, the embedding store persists
+	// write-behind into it, and ingested tables are written to it. Empty
+	// means a memory-only engine (NewEngine ignores this field; use Open).
+	DataDir string
+	// SegmentBytes rotates embedding log segments past this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// PersistQueue is the write-behind queue depth (default 4096).
+	PersistQueue int
 }
 
 // TableInfo describes one catalog entry.
@@ -104,6 +115,10 @@ type Engine struct {
 	plans   *planCache
 	slots   chan struct{}
 	bytes   *byteSemaphore
+
+	// durable is non-nil for engines built with Open over a data
+	// directory; nil engines are memory-only.
+	durable *durableState
 
 	counters counters
 	start    time.Time
@@ -184,8 +199,23 @@ func (e *Engine) Store() *embstore.Store { return e.store }
 // Catalog exposes the engine's table catalog (concurrency-safe).
 func (e *Engine) Catalog() *sqlish.Catalog { return e.catalog }
 
+// ErrTableExists reports a create-mode ingest against an existing name.
+// The HTTP layer maps it to 409 Conflict.
+var ErrTableExists = errors.New("service: table already exists")
+
+// ErrPersist marks a durable-write failure (disk full, permissions). The
+// in-memory registration already succeeded when this is returned — the
+// table serves queries but will not survive a restart — so the HTTP
+// layer maps it to 500, not 400.
+var ErrPersist = errors.New("service: durable write failed")
+
+// ErrNotDurable reports a durability operation against a memory-only
+// engine (no DataDir).
+var ErrNotDurable = errors.New("service: engine has no data directory")
+
 // RegisterTable adds or replaces a named table. Registration advances the
 // catalog generation, invalidating prepared plans bound to the old table.
+// On a durable engine the table is also written to the data directory.
 func (e *Engine) RegisterTable(name string, t *relational.Table) error {
 	if name == "" {
 		return fmt.Errorf("service: empty table name")
@@ -198,26 +228,55 @@ func (e *Engine) RegisterTable(name string, t *relational.Table) error {
 	// invalidation only fires when the same text is re-queried, which
 	// would otherwise pin replaced tables in memory indefinitely.
 	e.plans.purgeStale(e.catalog.Generation())
-	return nil
+	return e.persistTable(name, t)
+}
+
+// HasTable reports whether a table is registered under name.
+func (e *Engine) HasTable(name string) bool {
+	_, ok := e.catalog.Get(name)
+	return ok
 }
 
 // RegisterCSV parses CSV content under the schema and registers it.
-func (e *Engine) RegisterCSV(name string, schema relational.Schema, r io.Reader) (int, error) {
+// Create-vs-replace is explicit: with replace false an existing name is
+// rejected with ErrTableExists — cheaply before any CSV is read, and
+// atomically at registration time, so two concurrent creates of one
+// name cannot both succeed (a duplicate POST used to silently re-read
+// the whole upload and clobber the table). With replace true the new
+// contents take over.
+func (e *Engine) RegisterCSV(name string, schema relational.Schema, r io.Reader, replace bool) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("service: empty table name")
+	}
+	if !replace && e.HasTable(name) {
+		return 0, fmt.Errorf("%w: %q (pass replace to overwrite)", ErrTableExists, name)
+	}
 	t, err := relational.ReadCSV(r, schema)
 	if err != nil {
 		return 0, err
 	}
-	if err := e.RegisterTable(name, t); err != nil {
+	if replace {
+		err = e.RegisterTable(name, t)
+	} else if !e.catalog.RegisterIfAbsent(name, t) {
+		// Lost a create-create race after the cheap pre-check.
+		err = fmt.Errorf("%w: %q (pass replace to overwrite)", ErrTableExists, name)
+	} else {
+		e.plans.purgeStale(e.catalog.Generation())
+		err = e.persistTable(name, t)
+	}
+	if err != nil {
 		return 0, err
 	}
 	return t.NumRows(), nil
 }
 
-// DropTable removes a named table, reporting whether it existed.
+// DropTable removes a named table, reporting whether it existed. On a
+// durable engine its table file and manifest entry are removed too.
 func (e *Engine) DropTable(name string) bool {
 	ok := e.catalog.Drop(name)
 	if ok {
 		e.plans.purgeStale(e.catalog.Generation())
+		e.unpersistTable(name)
 	}
 	return ok
 }

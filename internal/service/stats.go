@@ -81,6 +81,12 @@ type ServerStats struct {
 	Strategies map[string]int64 `json:"strategies"`
 	// Store is the shared embedding store's statistics.
 	Store embstore.Stats `json:"store"`
+	// StoreModels counts cached entries per model fingerprint (the
+	// export iterator PR 1 lacked made this unreportable).
+	StoreModels map[string]int `json:"store_models,omitempty"`
+	// Durable describes the persistence layer; nil for memory-only
+	// engines.
+	Durable *DurableStats `json:"durable,omitempty"`
 }
 
 // Stats snapshots the engine's statistics.
@@ -102,6 +108,8 @@ func (e *Engine) Stats() ServerStats {
 		PlanCacheEntries:       entries,
 		Tables:                 e.catalog.Len(),
 		Store:                  e.store.Stats(),
+		StoreModels:            e.store.ModelEntries(),
+		Durable:                e.durableStats(),
 	}
 	c.mu.Lock()
 	st.Join = c.join

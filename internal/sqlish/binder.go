@@ -36,6 +36,22 @@ func (c *Catalog) Register(name string, t *relational.Table) {
 	c.mu.Unlock()
 }
 
+// RegisterIfAbsent adds a named table only if the name is free,
+// reporting whether it registered. The check and the registration are
+// one critical section, so two concurrent create-mode ingests of the
+// same name cannot both succeed.
+func (c *Catalog) RegisterIfAbsent(name string, t *relational.Table) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := strings.ToLower(name)
+	if _, ok := c.tables[k]; ok {
+		return false
+	}
+	c.tables[k] = t
+	c.gen++
+	return true
+}
+
 // Drop removes a named table, reporting whether it existed. Dropping
 // advances the catalog generation, invalidating prepared queries bound
 // against the old contents.

@@ -5,7 +5,11 @@
 // (inverted file) both implement it, and the planner is agnostic.
 package vindex
 
-import "ejoin/internal/relational"
+import (
+	"io"
+
+	"ejoin/internal/relational"
+)
 
 // Hit is one probe result.
 type Hit struct {
@@ -29,4 +33,22 @@ type Index interface {
 	// indexes, nprobe for inverted files); <=0 uses the index default.
 	// filter applies the index's pre-filtering semantics.
 	TopK(q []float32, k, beam int, filter *relational.Bitmap) ([]Hit, error)
+}
+
+// Snapshotter is the optional durability contract: an index that can
+// serialize itself into a self-contained, versioned binary payload.
+// Construction dominates index cost (Table I's "Build" column), so a
+// production deployment snapshots built indexes and restores them on
+// boot instead of re-paying k-means or graph insertion. The durable
+// layer wraps the payload in a checksummed container keyed by Kind and
+// dispatches Load-side decoding through a kind registry.
+type Snapshotter interface {
+	Index
+	// Kind identifies the on-disk decoder for this index family
+	// (e.g. "hnsw", "ivf-flat"). Stable across releases.
+	Kind() string
+	// WriteSnapshot serializes the index. The index must not be mutated
+	// concurrently. The payload must round-trip through the registered
+	// loader into an index with identical TopK results.
+	WriteSnapshot(w io.Writer) error
 }

@@ -35,12 +35,35 @@ type (
 	ServerStats = service.ServerStats
 	// TableInfo describes one catalog entry.
 	TableInfo = service.TableInfo
+	// SnapshotInfo reports what one Engine.Snapshot call did.
+	SnapshotInfo = service.SnapshotInfo
+	// DurableStats describes a durable engine's persistence layer.
+	DurableStats = service.DurableStats
 )
 
-// NewEngine builds a serving engine from cfg (zero value = defaults:
-// hash model, 256 MiB store, GOMAXPROCS slots, 1 GiB admission budget).
+// ErrTableExists reports a create-mode CSV ingest against an existing
+// table name (Engine.RegisterCSV with replace false).
+var ErrTableExists = service.ErrTableExists
+
+// NewEngine builds a memory-only serving engine from cfg (zero value =
+// defaults: hash model, 256 MiB store, GOMAXPROCS slots, 1 GiB admission
+// budget).
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return service.NewEngine(cfg)
+}
+
+// OpenEngine builds a serving engine backed by cfg.DataDir: ingested
+// tables and every computed embedding persist across restarts, so a
+// rebooted process serves its first repeated query with zero model calls
+// and restored indexes instead of a cold cache. Recovery is crash-safe —
+// torn log tails are truncated and checksum-failing records skipped, not
+// served. Close the engine to flush. An empty DataDir degrades to
+// NewEngine semantics.
+//
+//	engine, _ := ejoin.OpenEngine(ejoin.EngineConfig{DataDir: "/var/lib/ejoin"})
+//	defer engine.Close()
+func OpenEngine(cfg EngineConfig) (*Engine, error) {
+	return service.Open(cfg)
 }
 
 // IsBadRequest reports whether an Engine.Query error was caused by the

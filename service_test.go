@@ -72,3 +72,60 @@ func TestEngineFacade(t *testing.T) {
 		t.Errorf("tables = %+v", infos)
 	}
 }
+
+// TestOpenEngineFacade drives the durable path through the public API:
+// open on a data directory, ingest, query, close, reopen, and serve the
+// repeated query from the recovered cache.
+func TestOpenEngineFacade(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *ejoin.Engine {
+		engine, err := ejoin.OpenEngine(ejoin.EngineConfig{Dim: 32, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine
+	}
+
+	engine := open()
+	catalog, err := ejoin.NewTable(
+		ejoin.Schema{{Name: "name", Type: ejoin.StringType}},
+		[]ejoin.Column{ejoin.StringColumn{"barbecue", "database"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterTable("catalog", catalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterTable("feed", catalog); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.name) >= 0.9"
+	cold, err := engine.Query(context.Background(), ejoin.QueryRequest{SQL: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	engine2 := open()
+	defer engine2.Close()
+	warm, err := engine2.Query(context.Background(), ejoin.QueryRequest{SQL: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Matches) != len(cold.Matches) {
+		t.Fatalf("warm matches %d, cold %d", len(warm.Matches), len(cold.Matches))
+	}
+	st := engine2.Stats()
+	if st.Store.ModelCalls != 0 {
+		t.Errorf("warm reopen cost %d model calls, want 0", st.Store.ModelCalls)
+	}
+	if st.Durable == nil || st.Durable.LoadedTables != 2 {
+		t.Errorf("durable stats = %+v", st.Durable)
+	}
+}
