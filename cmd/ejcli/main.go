@@ -82,7 +82,7 @@ func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk,
 		return err
 	}
 
-	opts := core.Options{Kernel: vec.KernelSIMD}
+	opts := core.Options{Kernel: vec.DefaultKernel()}
 	var res *core.Result
 	if topk > 0 {
 		res, err = core.TensorTopK(ctx, lm, rm, topk, opts)

@@ -13,10 +13,14 @@
 //	curl -s localhost:8080/stats
 //
 // Endpoints: POST /query (sqlish text or structured join spec), POST
-// /tables (CSV ingest; duplicate names are 409 unless replace is set),
-// GET /tables, DELETE /tables/{name}, POST /snapshot (flush + compact
-// durable state), GET /stats, GET /healthz. SIGINT/SIGTERM drain
-// in-flight queries, then flush durable state, before exit.
+// /tables (CSV ingest; duplicate names are 409 unless replace is set; a
+// "precision" field declares the table's join precision), GET /tables,
+// DELETE /tables/{name}, PUT /tables/{name}/precision (set the per-table
+// precision knob: auto, f32, f16, or int8 — the coarser of two joined
+// tables' knobs governs their threshold scans), POST /snapshot (flush +
+// compact durable state), GET /stats (includes quantization stats),
+// GET /healthz. SIGINT/SIGTERM drain in-flight queries, then flush
+// durable state, before exit.
 //
 // With -data-dir the process is durable: ingested tables and every
 // computed embedding persist, so killing the server and rebooting it on
@@ -54,6 +58,7 @@ func main() {
 		drain          = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 		dataDir        = flag.String("data-dir", "", "data directory for durable state (empty = memory-only); restarts on the same directory serve warm")
 		segmentBytes   = flag.Int64("segment-bytes", 64<<20, "embedding log segment size before rotation")
+		precisionSlack = flag.Float64("precision-slack", 0, "result drift tolerated at threshold-join boundaries; > 0 lets the planner pick f16/int8 scans (0 = exact plans)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,7 @@ func main() {
 		Threads:        *threads,
 		DataDir:        *dataDir,
 		SegmentBytes:   *segmentBytes,
+		PrecisionSlack: *precisionSlack,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ejserve:", err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ejoin/internal/core"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/service"
 )
@@ -31,6 +32,7 @@ func newServer(e *service.Engine) *server {
 	s.mux.HandleFunc("GET /tables", s.handleListTables)
 	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
+	s.mux.HandleFunc("PUT /tables/{name}/precision", s.handleSetPrecision)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	return s
@@ -83,6 +85,9 @@ type createTableRequest struct {
 	Schema  string `json:"schema"`
 	CSV     string `json:"csv"`
 	Replace bool   `json:"replace"`
+	// Precision declares the table's join precision up front (same values
+	// as PUT /tables/{name}/precision: auto, f32, f16, int8).
+	Precision string `json:"precision,omitempty"`
 }
 
 func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
@@ -110,7 +115,14 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rows, err := s.engine.RegisterCSV(req.Name, schema, csvSrc, req.Replace)
+	prec, err := quant.ParsePrecision(req.Precision)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The engine validates the knob before reading any CSV, so a bad
+	// precision cannot leave a half-configured table behind.
+	rows, err := s.engine.RegisterCSVWithPrecision(req.Name, schema, csvSrc, req.Replace, prec)
 	switch {
 	case errors.Is(err, service.ErrTableExists):
 		writeError(w, http.StatusConflict, "%v", err)
@@ -124,7 +136,37 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows})
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows, "precision": prec.String()})
+}
+
+// setPrecisionRequest is the PUT /tables/{name}/precision body.
+type setPrecisionRequest struct {
+	Precision string `json:"precision"`
+}
+
+// handleSetPrecision sets one table's join precision knob: the coarser of
+// the two sides' declarations governs each threshold scan join.
+func (s *server) handleSetPrecision(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req setPrecisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	prec, err := quant.ParsePrecision(req.Precision)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.engine.SetTablePrecision(name, prec); err != nil {
+		status := http.StatusBadRequest
+		if !s.engine.HasTable(name) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "precision": prec.String()})
 }
 
 // handleSnapshot flushes and compacts the durable layer on demand — the
@@ -172,6 +214,7 @@ type matchJSON struct {
 // queryResponse is the /query result.
 type queryResponse struct {
 	Strategy      string           `json:"strategy"`
+	Precision     string           `json:"precision"`
 	Matches       []matchJSON      `json:"matches"`
 	Rows          []map[string]any `json:"rows,omitempty"`
 	Stats         core.Stats       `json:"stats"`
@@ -199,6 +242,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := queryResponse{
 		Strategy:      res.Strategy,
+		Precision:     res.Precision,
 		Matches:       make([]matchJSON, len(res.Matches)),
 		Stats:         res.Stats,
 		PlanCacheHit:  res.PlanCacheHit,

@@ -318,3 +318,104 @@ func TestSnapshotOnMemoryOnlyEngineErrors(t *testing.T) {
 		t.Errorf("memory-only snapshot: status %d, body %v", status, resp)
 	}
 }
+
+// TestPrecisionEndpoint: the per-table precision knob over HTTP — set it,
+// see it in listings and /stats, watch a threshold join execute at the
+// coarser side's precision, and clear it back to auto.
+func TestPrecisionEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	status, body := doJSON(t, http.MethodPut, ts.URL+"/tables/catalog/precision", `{"precision": "int8"}`)
+	if status != http.StatusOK || body["precision"] != "int8" {
+		t.Fatalf("set precision: %d %v", status, body)
+	}
+
+	status, body = doJSON(t, http.MethodGet, ts.URL+"/tables", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d", status)
+	}
+	found := false
+	for _, raw := range body["tables"].([]any) {
+		entry := raw.(map[string]any)
+		if entry["name"] == "catalog" {
+			found = true
+			if entry["precision"] != "int8" {
+				t.Fatalf("listing precision %v", entry["precision"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("catalog missing from listing")
+	}
+
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
+	if status != http.StatusOK {
+		t.Fatalf("query: %d %v", status, body)
+	}
+	if body["precision"] != "int8" {
+		t.Fatalf("query precision %v", body["precision"])
+	}
+	if len(body["matches"].([]any)) == 0 {
+		t.Fatal("quantized join returned no matches")
+	}
+
+	status, body = doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	qs := body["quant"].(map[string]any)
+	if qs["table_precisions"].(map[string]any)["catalog"] != "int8" {
+		t.Fatalf("stats quant %v", qs)
+	}
+	if qs["joins_by_precision"].(map[string]any)["int8"].(float64) != 1 {
+		t.Fatalf("stats joins by precision %v", qs)
+	}
+
+	// Errors: unknown table 404, bad precision 400, pq rejected 400.
+	if status, _ := doJSON(t, http.MethodPut, ts.URL+"/tables/nope/precision", `{"precision": "f16"}`); status != http.StatusNotFound {
+		t.Fatalf("unknown table: %d", status)
+	}
+	if status, _ := doJSON(t, http.MethodPut, ts.URL+"/tables/catalog/precision", `{"precision": "bf16"}`); status != http.StatusBadRequest {
+		t.Fatalf("bad precision: %d", status)
+	}
+	if status, _ := doJSON(t, http.MethodPut, ts.URL+"/tables/catalog/precision", `{"precision": "pq"}`); status != http.StatusBadRequest {
+		t.Fatalf("pq precision: %d", status)
+	}
+
+	// Clear back to auto; joins return to exact.
+	if status, _ := doJSON(t, http.MethodPut, ts.URL+"/tables/catalog/precision", `{"precision": "auto"}`); status != http.StatusOK {
+		t.Fatalf("clear: %d", status)
+	}
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
+	if status != http.StatusOK || body["precision"] != "f32" {
+		t.Fatalf("cleared query: %d precision %v", status, body["precision"])
+	}
+}
+
+// TestCreateTableWithPrecision: POST /tables accepts the knob inline.
+func TestCreateTableWithPrecision(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/tables",
+		`{"name": "p", "schema": "s:text", "csv": "s\nx\n", "precision": "f16"}`)
+	if status != http.StatusCreated || body["precision"] != "f16" {
+		t.Fatalf("create with precision: %d %v", status, body)
+	}
+	// An invalid precision fails before the table registers.
+	status, _ = doJSON(t, http.MethodPost, ts.URL+"/tables",
+		`{"name": "q", "schema": "s:text", "csv": "s\nx\n", "precision": "pq"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("pq create: %d", status)
+	}
+	status, body = doJSON(t, http.MethodGet, ts.URL+"/tables", "")
+	if status != http.StatusOK {
+		t.Fatal("listing failed")
+	}
+	for _, raw := range body["tables"].([]any) {
+		if raw.(map[string]any)["name"] == "q" {
+			t.Fatal("rejected-precision table was registered anyway")
+		}
+	}
+}

@@ -78,7 +78,7 @@ func run(tables []string, query string, dim int, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	ex := &plan.Executor{Options: core.Options{Kernel: vec.KernelSIMD}, Store: store}
+	ex := &plan.Executor{Options: core.Options{Kernel: vec.DefaultKernel()}, Store: store}
 	opt := plan.NewOptimizer()
 	opt.Store = store
 	res, q, err := sqlish.RunWith(context.Background(), query, catalog, m, ex, opt)

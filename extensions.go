@@ -33,7 +33,7 @@ type SelectionMatch struct {
 // semantic WHERE clause. Cost is |R|·(A+M+C) (one model call per input
 // plus one for the query).
 func SelectStrings(ctx context.Context, m Model, inputs []string, query string, threshold float32) ([]SelectionMatch, error) {
-	res, err := core.ESelect(ctx, m, inputs, query, threshold, core.Options{Kernel: vec.KernelSIMD})
+	res, err := core.ESelect(ctx, m, inputs, query, threshold, core.Options{Kernel: vec.DefaultKernel()})
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +112,14 @@ type SemanticFilterResult = plan.SemanticFilterResult
 // to a table — the declarative E-selection path. Relational predicates run
 // first so the model embeds only surviving tuples.
 func FilterTable(ctx context.Context, t *Table, m Model, preds []Pred, sem SemanticPred) (*SemanticFilterResult, error) {
-	return plan.SemanticFilter(ctx, t, m, preds, sem)
+	return plan.SemanticFilter(ctx, t, m, preds, sem, core.Options{Kernel: vec.DefaultKernel()})
+}
+
+// FilterTableWith is FilterTable with explicit physical options (kernel,
+// threads), so deployments that configure a kernel are honored in
+// semantic filters too.
+func FilterTableWith(ctx context.Context, t *Table, m Model, preds []Pred, sem SemanticPred, opts JoinOptions) (*SemanticFilterResult, error) {
+	return plan.SemanticFilter(ctx, t, m, preds, sem, opts)
 }
 
 // Ordering re-exports: ORDER BY and LIMIT over selections.
@@ -181,7 +188,7 @@ func NewCachingModel(inner Model, store *EmbedStore) Model {
 // the shared store (pass nil for a store-less executor equivalent to
 // &Executor{}).
 func NewStoreExecutor(store *EmbedStore) *Executor {
-	return &Executor{Options: core.Options{Kernel: vec.KernelSIMD}, Store: store}
+	return &Executor{Options: core.Options{Kernel: vec.DefaultKernel()}, Store: store}
 }
 
 // NewStoreOptimizer returns an optimizer with default cost parameters

@@ -3,6 +3,7 @@ package ejoin
 import (
 	"bytes"
 	"context"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -124,5 +125,50 @@ func TestFullPipelinePublicAPI(t *testing.T) {
 	sims, _ := joined.Floats("similarity")
 	if sims[best[0]] < sims[best[1]] {
 		t.Error("not ordered by similarity")
+	}
+}
+
+// TestFacadePrecisionLadder: the precision re-exports work end to end —
+// parse, a PQ index through the facade with rerank, and a snapshot round
+// trip through the generic index container.
+func TestFacadePrecisionLadder(t *testing.T) {
+	if p, err := ParsePrecision("int8"); err != nil || p != PrecisionInt8 {
+		t.Fatalf("ParsePrecision: %v %v", p, err)
+	}
+
+	rows := make([][]float32, 200)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		rows[i] = v
+	}
+	ix, err := BuildPQIndex(rows, IVFConfig{Seed: 1}, PQConfig{M: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachPQRerank(ix, rows); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ix.TopK(rows[0], 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || hits[0].ID != 0 {
+		t.Fatalf("self-probe hits %v", hits)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveVectorIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadVectorIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.(*PQIndex); !ok {
+		t.Fatalf("snapshot decoded as %T", back)
 	}
 }

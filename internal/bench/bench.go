@@ -104,6 +104,7 @@ func Registry() []Experiment {
 		expBlockSize(),
 		expHNSWRecall(),
 		expIVF(),
+		expQuant(),
 	}
 }
 

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/ivf"
+	"ejoin/internal/mat"
+	"ejoin/internal/quant"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// quantLevel is one precision rung's measured row in BENCH_quant.json.
+type quantLevel struct {
+	Precision      string  `json:"precision"`
+	BytesPerVector float64 `json:"bytes_per_vector"`
+	JoinMs         float64 `json:"join_ms"`
+	QPS            float64 `json:"qps"`
+	// Recall is the fraction of the F32 join's matches the quantized join
+	// retains (1.0 for f32 itself).
+	Recall float64 `json:"recall_vs_f32"`
+}
+
+// quantReport is the machine-readable result of the quant experiment.
+type quantReport struct {
+	Rows   int          `json:"rows_per_side"`
+	Dim    int          `json:"dim"`
+	Levels []quantLevel `json:"levels"`
+	// PQIVF summarizes the compressed index path.
+	PQIVF struct {
+		BytesPerVector     float64 `json:"bytes_per_vector"`
+		CompressionVsFlat  float64 `json:"compression_vs_flat"`
+		RecallAt10ADC      float64 `json:"recall_at_10_adc"`
+		RecallAt10Reranked float64 `json:"recall_at_10_reranked"`
+		ProbeQPS           float64 `json:"probe_qps"`
+	} `json:"pq_ivf"`
+}
+
+// expQuant measures the precision ladder end to end: for each scan rung
+// (F32/F16/INT8) the threshold-join cost, storage, and agreement with the
+// exact join; and for PQ the compressed-index recall with and without the
+// exact rerank pass, against exact F32 top-k.
+func expQuant() Experiment {
+	return Experiment{
+		Name:        "quant",
+		Paper:       "Precision ladder (new)",
+		Description: "F32/F16/INT8 threshold scans (bytes/vector, QPS, recall vs F32) and PQ-IVF probes (ADC vs reranked recall@10, compression).",
+		Run: func(w io.Writer, cfg Config) error {
+			ctx := context.Background()
+			n := cfg.size(2000)
+			dim := 64
+			threshold := float32(0.8)
+			// Tight clusters: within-cluster similarity ~0.93, across ~0,
+			// so the threshold sits with real margin on both sides — the
+			// regime where bounded-error quantized scans keep recall ~1.
+			left := workload.CorrelatedVectorsFrom(cfg.Seed, 999, n, dim, 32, 0.05)
+			right := workload.CorrelatedVectorsFrom(cfg.Seed+1, 999, n, dim, 32, 0.05)
+			opts := core.Options{Kernel: vec.DefaultKernel(), Threads: cfg.threads()}
+
+			rep := quantReport{Rows: n, Dim: dim}
+			exact, err := core.NLJ(ctx, left, right, threshold, opts)
+			if err != nil {
+				return err
+			}
+			exactSet := make(map[[2]int]bool, len(exact.Matches))
+			for _, m := range exact.Matches {
+				exactSet[[2]int{m.Left, m.Right}] = true
+			}
+			recallOf := func(res *core.Result) float64 {
+				if len(exact.Matches) == 0 {
+					return 1
+				}
+				kept := 0
+				for _, m := range res.Matches {
+					if exactSet[[2]int{m.Left, m.Right}] {
+						kept++
+					}
+				}
+				return float64(kept) / float64(len(exact.Matches))
+			}
+
+			t := newTable("Precision", "Bytes/vec", "Join [ms]", "Matches", "Recall vs F32")
+			runLevel := func(prec quant.Precision, join func() (*core.Result, error)) error {
+				start := time.Now()
+				res, err := join()
+				if err != nil {
+					return err
+				}
+				elapsed := time.Since(start)
+				lv := quantLevel{
+					Precision:      prec.String(),
+					BytesPerVector: float64(prec.BytesPerVector(dim)),
+					JoinMs:         float64(elapsed.Microseconds()) / 1000,
+					Recall:         recallOf(res),
+				}
+				if elapsed > 0 {
+					lv.QPS = 1 / elapsed.Seconds()
+				}
+				rep.Levels = append(rep.Levels, lv)
+				t.addRow(lv.Precision, fmt.Sprintf("%.0f", lv.BytesPerVector), ms(elapsed),
+					fmt.Sprint(len(res.Matches)), fmt.Sprintf("%.4f", lv.Recall))
+				return nil
+			}
+			if err := runLevel(quant.PrecisionF32, func() (*core.Result, error) {
+				return core.NLJ(ctx, left, right, threshold, opts)
+			}); err != nil {
+				return err
+			}
+			lf16, rf16 := mat.EncodeF16(left), mat.EncodeF16(right)
+			if err := runLevel(quant.PrecisionF16, func() (*core.Result, error) {
+				return core.NLJF16(ctx, lf16, rf16, threshold, opts)
+			}); err != nil {
+				return err
+			}
+			li8, ri8 := quant.EncodeInt8(left), quant.EncodeInt8(right)
+			if err := runLevel(quant.PrecisionInt8, func() (*core.Result, error) {
+				return core.NLJI8(ctx, li8, ri8, threshold, opts)
+			}); err != nil {
+				return err
+			}
+			t.print(w)
+
+			// PQ-IVF: compressed probes against exact F32 top-k. The
+			// per-subspace codebook scales with the corpus so its amortized
+			// overhead stays small even at quick sizes.
+			nq, k := 50, 10
+			centroids := n / 8
+			if centroids > 256 {
+				centroids = 256
+			}
+			if centroids < 16 {
+				centroids = 16
+			}
+			queries := workload.CorrelatedVectorsFrom(cfg.Seed+2, 999, nq, dim, 32, 0.05)
+			ix, err := ivf.BuildPQ(left, ivf.Config{Seed: cfg.Seed, NProbe: 12}, quant.PQConfig{M: 8, Centroids: centroids, Seed: cfg.Seed})
+			if err != nil {
+				return err
+			}
+			norm := left.Clone()
+			norm.NormalizeRows()
+
+			truth := make([]map[int]bool, nq)
+			for qi := 0; qi < nq; qi++ {
+				top := exactTopIDs(rowsOfMatrix(norm), queries.Row(qi), k)
+				truth[qi] = make(map[int]bool, k)
+				for _, id := range top {
+					truth[qi][id] = true
+				}
+			}
+			probeRecall := func() (float64, time.Duration, error) {
+				hits, total := 0, 0
+				start := time.Now()
+				for qi := 0; qi < nq; qi++ {
+					res, err := ix.Search(queries.Row(qi), k, ivf.PQSearchOptions{NProbe: ix.NLists() / 2, RerankC: 8 * k})
+					if err != nil {
+						return 0, 0, err
+					}
+					for _, r := range res {
+						if truth[qi][r.ID] {
+							hits++
+						}
+					}
+					total += k
+				}
+				return float64(hits) / float64(total), time.Since(start), nil
+			}
+			adcRecall, _, err := probeRecall()
+			if err != nil {
+				return err
+			}
+			if err := ix.AttachRerank(norm); err != nil {
+				return err
+			}
+			rerankRecall, dProbe, err := probeRecall()
+			if err != nil {
+				return err
+			}
+
+			rep.PQIVF.BytesPerVector = float64(ix.SizeBytes()) / float64(n)
+			rep.PQIVF.CompressionVsFlat = float64(norm.SizeBytes()) / float64(ix.SizeBytes())
+			rep.PQIVF.RecallAt10ADC = adcRecall
+			rep.PQIVF.RecallAt10Reranked = rerankRecall
+			if dProbe > 0 {
+				rep.PQIVF.ProbeQPS = float64(nq) / dProbe.Seconds()
+			}
+			fmt.Fprintf(w, "\nPQ-IVF (M=8, K=%d, nprobe=%d, rerank C=%d): %.1f bytes/vec (%.1fx vs flat), recall@10 %.3f ADC-only -> %.3f reranked, %.0f probes/s\n",
+				centroids, ix.NLists()/2, 8*k,
+				rep.PQIVF.BytesPerVector, rep.PQIVF.CompressionVsFlat, adcRecall, rerankRecall, rep.PQIVF.ProbeQPS)
+			fmt.Fprintln(w, "Shape check: each rung divides storage; recall stays ~1 at the scan rungs (bounded error) and the rerank pass recovers what ADC loses.")
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_quant.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// rowsOfMatrix adapts a matrix to the row-slice shape exactTopIDs takes.
+func rowsOfMatrix(m *mat.Matrix) [][]float32 {
+	out := make([][]float32, m.Rows())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}

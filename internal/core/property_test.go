@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ejoin/internal/mat"
+	"ejoin/internal/quant"
 	"ejoin/internal/vec"
 )
 
@@ -185,6 +186,56 @@ func TestF16AgreementProperty(t *testing.T) {
 			if sim >= threshold+slack {
 				if _, ok := fullSet[k]; !ok {
 					t.Fatalf("trial %d: pair %v invented by f16", trial, k)
+				}
+			}
+		}
+	}
+}
+
+// TestInt8AgreementProperty: the int8-quantized join agrees with FP32
+// away from the quantization boundary on random shapes — the property
+// that makes quant.Precision.DotErrorBound a safe planning input.
+func TestInt8AgreementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ctx := context.Background()
+	for trial := 0; trial < 15; trial++ {
+		nr := 1 + rng.Intn(30)
+		ns := 1 + rng.Intn(30)
+		dim := 1 + rng.Intn(64)
+		threshold := float32(rng.Float64() - 0.5)
+		left := randomEmbeddings(rng.Int63(), nr, dim)
+		right := randomEmbeddings(rng.Int63(), ns, dim)
+		full, err := NLJ(ctx, left, right, threshold, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ql, qr := quant.EncodeInt8(left), quant.EncodeInt8(right)
+		q8, err := NLJI8(ctx, ql, qr, threshold, Options{Threads: 1 + rng.Intn(4), Kernel: vec.Kernel(rng.Intn(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The exact per-pair bound from the encoded scales covers any
+		// disagreement, and the planner's static constant must dominate it
+		// on this domain (dense Gaussian unit vectors) — the claim
+		// Precision.DotErrorBound makes and ChooseJoinPrecision gates on.
+		slack := quant.Int8DotErrorBound(dim, ql.MaxScale(), qr.MaxScale())
+		if static := float32(quant.PrecisionInt8.DotErrorBound(dim)); slack > static {
+			t.Fatalf("trial %d: dim %d per-pair bound %v exceeds planner constant %v on dense embeddings",
+				trial, dim, slack, static)
+		}
+		fullSet := matchKeys(full.Matches)
+		qSet := matchKeys(q8.Matches)
+		for k, sim := range fullSet {
+			if sim >= threshold+slack {
+				if _, ok := qSet[k]; !ok {
+					t.Fatalf("trial %d: pair %v (sim %v) lost in int8 (slack %v)", trial, k, sim, slack)
+				}
+			}
+		}
+		for k, sim := range qSet {
+			if sim >= threshold+slack {
+				if _, ok := fullSet[k]; !ok {
+					t.Fatalf("trial %d: pair %v (sim %v) invented by int8", trial, k, sim)
 				}
 			}
 		}

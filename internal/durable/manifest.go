@@ -33,6 +33,9 @@ type TableEntry struct {
 	// Rows and Cols describe the table, for listing without opening.
 	Rows int `json:"rows"`
 	Cols int `json:"cols"`
+	// Precision is the table's declared join precision ("" or "auto" when
+	// unset), so per-table quantization opt-ins survive restarts.
+	Precision string `json:"precision,omitempty"`
 }
 
 // Sort orders entries by name (canonical form, stable diffs).

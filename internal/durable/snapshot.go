@@ -39,8 +39,9 @@ type IndexLoader func(r io.Reader) (vindex.Index, error)
 var (
 	loadersMu sync.RWMutex
 	loaders   = map[string]IndexLoader{
-		hnsw.SnapshotKind: func(r io.Reader) (vindex.Index, error) { return hnsw.Load(r) },
-		ivf.SnapshotKind:  func(r io.Reader) (vindex.Index, error) { return ivf.Load(r) },
+		hnsw.SnapshotKind:  func(r io.Reader) (vindex.Index, error) { return hnsw.Load(r) },
+		ivf.SnapshotKind:   func(r io.Reader) (vindex.Index, error) { return ivf.Load(r) },
+		ivf.PQSnapshotKind: func(r io.Reader) (vindex.Index, error) { return ivf.LoadPQ(r) },
 	}
 )
 

@@ -11,6 +11,7 @@ import (
 	"ejoin/internal/hnsw"
 	"ejoin/internal/ivf"
 	"ejoin/internal/mat"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/vindex"
 )
@@ -141,6 +142,68 @@ func TestSnapshotRoundTripHNSWAndIVF(t *testing.T) {
 			assertSameTopK(t, tc.ix, restored, queries, nil)
 			assertSameTopK(t, tc.ix, restored, queries, filter)
 		})
+	}
+}
+
+// TestSnapshotRoundTripPQ: a PQ-compressed index survives the checksummed
+// container with its codebook intact — once the rerank vectors (which
+// alias base-table storage and are deliberately not serialized) are
+// re-attached, post-rerank TopK results are identical to the original's.
+func TestSnapshotRoundTripPQ(t *testing.T) {
+	vecs := unitVectors(23, 500, 32)
+	queries := unitVectors(29, 15, 32)
+	m, err := mat.FromRows(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ivf.BuildPQ(m, ivf.Config{NLists: 10, Seed: 7, NProbe: 6}, quant.PQConfig{M: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := m.Clone()
+	norm.NormalizeRows()
+	if err := ix.AttachRerank(norm); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := loaded.(*ivf.PQIndex)
+	if !ok {
+		t.Fatalf("pq snapshot decoded as %T", loaded)
+	}
+	if restored.HasRerank() {
+		t.Fatal("rerank vectors must not be serialized")
+	}
+	if err := restored.AttachRerank(norm); err != nil {
+		t.Fatal(err)
+	}
+	if restored.SizeBytes() != ix.SizeBytes() {
+		t.Fatalf("resident bytes %d, want %d", restored.SizeBytes(), ix.SizeBytes())
+	}
+	for qi, q := range queries {
+		want, err := ix.Search(q, 10, ivf.PQSearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Search(q, 10, ivf.PQSearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d vs %d post-rerank results", qi, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("query %d: post-rerank result %d differs: %+v vs %+v", qi, i, want[i], got[i])
+			}
+		}
 	}
 }
 

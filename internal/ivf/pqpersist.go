@@ -1,0 +1,184 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ejoin/internal/mat"
+	"ejoin/internal/quant"
+)
+
+// Binary serialization of the PQ-compressed index: configuration, coarse
+// centroids, inverted lists, codes, and the trained codebook — everything
+// except the rerank vectors, which alias base-table storage and are
+// re-attached after Load. Little-endian, versioned via the magic.
+
+var pqPersistMagic = [8]byte{'E', 'J', 'P', 'Q', 'F', '0', '0', '1'}
+
+// PQSnapshotKind is the durable-layer identifier for IVF-PQ payloads.
+const PQSnapshotKind = "ivf-pq"
+
+// Kind implements vindex.Snapshotter.
+func (ix *PQIndex) Kind() string { return PQSnapshotKind }
+
+// WriteSnapshot implements vindex.Snapshotter by delegating to Save.
+func (ix *PQIndex) WriteSnapshot(w io.Writer) error { return ix.Save(w) }
+
+// Save writes the index. Built PQ indexes are immutable, so any built
+// index qualifies.
+func (ix *PQIndex) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(pqPersistMagic[:]); err != nil {
+		return fmt.Errorf("ivf: writing pq header: %w", err)
+	}
+	le := binary.LittleEndian
+	writeU64 := func(v uint64) error { return binary.Write(bw, le, v) }
+
+	n := ix.Len()
+	hdr := []uint64{
+		uint64(ix.dim),
+		uint64(len(ix.lists)),
+		uint64(ix.cfg.KMeansIters),
+		uint64(ix.cfg.Seed),
+		uint64(ix.cfg.NProbe),
+		uint64(n),
+	}
+	for _, v := range hdr {
+		if err := writeU64(v); err != nil {
+			return fmt.Errorf("ivf: writing pq header: %w", err)
+		}
+	}
+	for _, v := range ix.centroids.Data {
+		if err := binary.Write(bw, le, math.Float32bits(v)); err != nil {
+			return fmt.Errorf("ivf: writing pq centroids: %w", err)
+		}
+	}
+	for _, list := range ix.lists {
+		if err := writeU64(uint64(len(list))); err != nil {
+			return fmt.Errorf("ivf: writing pq lists: %w", err)
+		}
+		for _, id := range list {
+			if err := writeU64(uint64(id)); err != nil {
+				return fmt.Errorf("ivf: writing pq lists: %w", err)
+			}
+		}
+	}
+	// Codebook before codes: the code block's length is n·M, and M is
+	// recorded in the codebook header, so this order keeps the format
+	// single-pass for the loader.
+	if err := ix.book.Save(bw); err != nil {
+		return fmt.Errorf("ivf: writing pq codebook: %w", err)
+	}
+	if _, err := bw.Write(ix.codes); err != nil {
+		return fmt.Errorf("ivf: writing pq codes: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadPQ reads an index saved with Save. DistanceCalls starts at zero and
+// no rerank vectors are attached.
+func LoadPQ(r io.Reader) (*PQIndex, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("ivf: reading pq header: %w", err)
+	}
+	if magic != pqPersistMagic {
+		return nil, fmt.Errorf("ivf: bad magic %q (not an ejoin IVF-PQ file?)", magic)
+	}
+	le := binary.LittleEndian
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	var hdr [6]uint64
+	for i := range hdr {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading pq header: %w", err)
+		}
+		hdr[i] = v
+	}
+	dim := int(hdr[0])
+	nlists := int(hdr[1])
+	n := int(hdr[5])
+	if dim <= 0 || nlists <= 0 || n < 0 {
+		return nil, fmt.Errorf("ivf: corrupt pq header (dim=%d nlists=%d n=%d)", dim, nlists, n)
+	}
+	const maxReasonable = 1 << 32
+	if uint64(n)*uint64(dim) > maxReasonable || uint64(nlists)*uint64(dim) > maxReasonable {
+		return nil, fmt.Errorf("ivf: implausible pq size %d x %d (%d lists)", n, dim, nlists)
+	}
+	cfg := Config{
+		NLists:      nlists,
+		KMeansIters: int(hdr[2]),
+		Seed:        int64(hdr[3]),
+		NProbe:      int(hdr[4]),
+	}
+	centroids := mat.New(nlists, dim)
+	for i := range centroids.Data {
+		var bits uint32
+		if err := binary.Read(br, le, &bits); err != nil {
+			return nil, fmt.Errorf("ivf: reading pq centroids: %w", err)
+		}
+		centroids.Data[i] = math.Float32frombits(bits)
+	}
+	lists := make([][]int, nlists)
+	total := 0
+	for c := range lists {
+		sz, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading pq list %d: %w", c, err)
+		}
+		if sz > uint64(n) {
+			return nil, fmt.Errorf("ivf: corrupt pq list %d (len=%d n=%d)", c, sz, n)
+		}
+		list := make([]int, sz)
+		for i := range list {
+			id, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("ivf: reading pq list %d: %w", c, err)
+			}
+			if int(id) >= n {
+				return nil, fmt.Errorf("ivf: corrupt pq id %d in list %d (n=%d)", id, c, n)
+			}
+			list[i] = int(id)
+		}
+		lists[c] = list
+		total += len(list)
+	}
+	if total != n {
+		return nil, fmt.Errorf("ivf: pq lists hold %d ids, index has %d vectors", total, n)
+	}
+	book, err := quant.ReadCodebook(br)
+	if err != nil {
+		return nil, err
+	}
+	if book.Dim() != dim {
+		return nil, fmt.Errorf("ivf: pq codebook dim %d, index dim %d", book.Dim(), dim)
+	}
+	codes := make([]byte, n*book.M())
+	if _, err := io.ReadFull(br, codes); err != nil {
+		return nil, fmt.Errorf("ivf: reading pq codes: %w", err)
+	}
+	// Every code must index inside the codebook: an out-of-range byte
+	// would panic (last subspace) or silently mis-score (earlier ones) at
+	// query time.
+	for i, c := range codes {
+		if int(c) >= book.K() {
+			return nil, fmt.Errorf("ivf: corrupt pq code %d at offset %d (k=%d)", c, i, book.K())
+		}
+	}
+	return &PQIndex{
+		cfg:       cfg,
+		dim:       dim,
+		centroids: centroids,
+		lists:     lists,
+		codes:     codes,
+		book:      book,
+	}, nil
+}

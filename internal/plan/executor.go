@@ -11,6 +11,7 @@ import (
 	"ejoin/internal/hnsw"
 	"ejoin/internal/mat"
 	"ejoin/internal/model"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/vec"
 )
@@ -202,13 +203,13 @@ func (ex *Executor) join(ctx context.Context, j *EJoin, left, right *evaluatedIn
 		if j.Spec.Kind == TopKJoin {
 			res, err = core.TensorTopK(ctx, left.embeddings, right.embeddings, j.Spec.K, ex.Options)
 		} else {
-			res, err = core.NLJ(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+			res, err = ex.thresholdScan(ctx, j, left, right, false)
 		}
 	case cost.StrategyTensor:
 		if j.Spec.Kind == TopKJoin {
 			res, err = core.TensorTopK(ctx, left.embeddings, right.embeddings, j.Spec.K, ex.Options)
 		} else {
-			res, err = core.TensorJoin(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+			res, err = ex.thresholdScan(ctx, j, left, right, true)
 		}
 	case cost.StrategyIndex:
 		res, err = ex.indexJoin(ctx, j, left, right)
@@ -243,6 +244,47 @@ func (ex *Executor) join(ctx context.Context, j *EJoin, left, right *evaluatedIn
 	}
 	out.Stats = res.Stats
 	return out, nil
+}
+
+// thresholdScan executes a threshold scan at the plan's precision: exact
+// F32 (tensor-blocked or tuple-at-a-time per the strategy), or the F16 /
+// INT8 rungs of the precision ladder. Quantized scans run tuple-at-a-time
+// — the memory-traffic reduction, not cache blocking, is what those rungs
+// buy — and inputs are encoded on the fly from the prefetched float32
+// embeddings (the planner charged for that pass).
+func (ex *Executor) thresholdScan(ctx context.Context, j *EJoin, left, right *evaluatedInput, tensor bool) (*core.Result, error) {
+	// The float32 inputs are released as soon as the quantized copies
+	// exist, so the scan's steady-state residency is the quantized bytes
+	// the precision planner budgeted for (the encode itself transiently
+	// holds both).
+	switch j.Precision {
+	case quant.PrecisionF16:
+		lq, rq := mat.EncodeF16(left.embeddings), mat.EncodeF16(right.embeddings)
+		left.embeddings, right.embeddings = nil, nil
+		return core.NLJF16(ctx, lq, rq, j.Spec.Threshold, ex.Options)
+	case quant.PrecisionInt8:
+		lq, rq := quant.EncodeInt8(left.embeddings), quant.EncodeInt8(right.embeddings)
+		// The planner's int8 error constant assumes dense unit-norm
+		// embeddings. The encoded scales give the exact bound for THIS
+		// data; when a cost-based choice's promised slack cannot cover it
+		// (sparse or near-one-hot vectors), demote to the exact scan
+		// rather than silently drift past the promise. Forced precisions
+		// (per-table knob, Optimizer.Precision) carry no slack and are an
+		// explicit operator opt-in, so they never demote.
+		if j.PrecisionSlack > 0 &&
+			float64(quant.Int8DotErrorBound(lq.Cols(), lq.MaxScale(), rq.MaxScale())) > j.PrecisionSlack {
+			j.Precision = quant.PrecisionF32 // keep plan/stats honest about what ran
+			break
+		}
+		left.embeddings, right.embeddings = nil, nil
+		return core.NLJI8(ctx, lq, rq, j.Spec.Threshold, ex.Options)
+	case quant.PrecisionPQ:
+		return nil, fmt.Errorf("plan: pq is an index access path, not a scan precision")
+	}
+	if tensor {
+		return core.TensorJoin(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
+	}
+	return core.NLJ(ctx, left.embeddings, right.embeddings, j.Spec.Threshold, ex.Options)
 }
 
 func (ex *Executor) indexJoin(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*core.Result, error) {
@@ -442,7 +484,7 @@ func Run(ctx context.Context, q Query, ex *Executor, opt *Optimizer) (*ExecResul
 		return nil, nil, err
 	}
 	if ex == nil {
-		ex = &Executor{Options: core.Options{Kernel: vec.KernelSIMD}}
+		ex = &Executor{Options: core.Options{Kernel: vec.DefaultKernel()}}
 	}
 	res, err := ex.Execute(ctx, optimized)
 	if err != nil {

@@ -3,6 +3,7 @@ package plan
 import (
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 )
 
@@ -22,6 +23,19 @@ type Optimizer struct {
 	// embedding store and discounts the E_µ cost term by the observed hit
 	// ratio, so a warm cache can flip the scan-versus-probe choice.
 	Store *embstore.Store
+	// Precision forces the scan precision for threshold joins; Auto (the
+	// zero value) selects it with cost.ChooseJoinPrecision under
+	// PrecisionSlack and MemoryBudget.
+	Precision quant.Precision
+	// PrecisionSlack is the result drift tolerated at the threshold
+	// boundary when precision selection is cost-based: a quantized rung is
+	// eligible only if its dot-product error bound fits within it. Zero
+	// (the default) demands exactness, so plans stay F32 unless the
+	// deployment opts into the trade.
+	PrecisionSlack float64
+	// MemoryBudget bounds the resident embedding bytes precision selection
+	// plans for (<=0 = unconstrained).
+	MemoryBudget int64
 }
 
 // NewOptimizer returns an optimizer with default cost parameters.
@@ -86,7 +100,51 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 		out.Strategy = choice.Strategy
 		out.Estimates = choice.Estimates
 	}
+
+	// Rule 5 (precision ladder): threshold scans may trade bounded
+	// accuracy for memory traffic under planner control.
+	if out.Quantizable() {
+		if o.Precision != quant.PrecisionAuto {
+			out.Precision = o.Precision
+		} else if o.PrecisionSlack > 0 || o.MemoryBudget > 0 {
+			lr, rr := estimateRows(out.Left), estimateRows(out.Right)
+			dim := inputDim(out.Left)
+			if d := inputDim(out.Right); d > dim {
+				dim = d
+			}
+			pc := params.ChooseJoinPrecision(lr, rr, dim, o.MemoryBudget, o.PrecisionSlack)
+			out.Precision = pc.Precision
+			out.PrecisionEstimates = pc.Estimates
+			out.PrecisionSlack = o.PrecisionSlack
+		}
+	}
 	return out, nil
+}
+
+// inputDim is the embedding dimensionality an input will carry: a vector
+// column's declared dim, or the embedding model's output dim.
+func inputDim(n Node) int {
+	for cur := n; cur != nil; {
+		switch t := cur.(type) {
+		case *Scan:
+			if t.Ref.Table != nil && t.Ref.VectorColumn != "" {
+				if vc, err := t.Ref.Table.Vectors(t.Ref.VectorColumn); err == nil {
+					return vc.Dim
+				}
+			}
+			return 0
+		case *Embed:
+			if t.Model != nil {
+				return t.Model.Dim()
+			}
+			cur = t.Input
+		case *Filter:
+			cur = t.Input
+		default:
+			return 0
+		}
+	}
+	return 0
 }
 
 // rewriteInput applies the E-Selection equivalence to one join input:

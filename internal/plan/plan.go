@@ -20,6 +20,7 @@ import (
 
 	"ejoin/internal/cost"
 	"ejoin/internal/model"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/vindex"
 )
@@ -155,6 +156,19 @@ type EJoin struct {
 	Strategy cost.Strategy
 	// Estimates holds the cost model's per-strategy estimates.
 	Estimates map[cost.Strategy]float64
+	// Precision is the storage/compute precision the scan executes at
+	// (threshold scans only; top-k and index strategies stay exact).
+	// Auto executes as F32.
+	Precision quant.Precision
+	// PrecisionEstimates holds the precision chooser's per-rung estimates
+	// when selection was cost-based.
+	PrecisionEstimates map[quant.Precision]float64
+	// PrecisionSlack records the drift tolerance a cost-based precision
+	// choice was made under (0 for forced precisions). The executor uses
+	// it as a runtime guard: if the encoded data's exact error bound
+	// exceeds it — the planner's density assumption was wrong for this
+	// data — the scan demotes to exact F32.
+	PrecisionSlack float64
 }
 
 // Explain implements Node.
@@ -169,12 +183,26 @@ func (j *EJoin) Explain() string {
 			cond += fmt.Sprintf(" AND sim >= %.2f", j.Spec.Threshold)
 		}
 	}
-	return fmt.Sprintf("EJoin(%s, strategy=%s, prefetch=%v, swapped=%v)",
-		cond, j.Strategy, j.Prefetch, j.Swapped)
+	prec := ""
+	if j.Precision != quant.PrecisionAuto && j.Precision != quant.PrecisionF32 {
+		prec = fmt.Sprintf(", precision=%s", j.Precision)
+	}
+	return fmt.Sprintf("EJoin(%s, strategy=%s, prefetch=%v, swapped=%v%s)",
+		cond, j.Strategy, j.Prefetch, j.Swapped, prec)
 }
 
 // Children implements Node.
 func (j *EJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Quantizable reports whether this plan's shape can execute at a reduced
+// scan precision: a threshold condition on a scan strategy. Top-k
+// conditions rank by exact similarity and index probes rerank inside the
+// index, so neither quantizes. The optimizer's precision rule and the
+// service's per-table knob both gate on this one predicate.
+func (j *EJoin) Quantizable() bool {
+	return j.Spec.Kind == ThresholdJoin &&
+		(j.Strategy == cost.StrategyNLJ || j.Strategy == cost.StrategyTensor)
+}
 
 // ExplainTree renders the plan as an indented tree.
 func ExplainTree(n Node) string {

@@ -8,7 +8,6 @@ import (
 	"ejoin/internal/core"
 	"ejoin/internal/model"
 	"ejoin/internal/relational"
-	"ejoin/internal/vec"
 )
 
 // SemanticPred is a similarity predicate over a context-rich column:
@@ -33,8 +32,11 @@ func (p SemanticPred) String() string {
 
 // SemanticFilter is the standalone execution path for a semantic WHERE:
 // apply relational predicates first, then the E-selection over survivors.
-// Returns the qualifying rows (global ids), their similarities, and stats.
-func SemanticFilter(ctx context.Context, t *relational.Table, m model.Model, preds []relational.Pred, sem SemanticPred) (*SemanticFilterResult, error) {
+// opts carries the executor's configured physical options (kernel,
+// threads) into the E-selection, so a deployment's kernel choice is
+// honored here the same as in joins. Returns the qualifying rows (global
+// ids), their similarities, and stats.
+func SemanticFilter(ctx context.Context, t *relational.Table, m model.Model, preds []relational.Pred, sem SemanticPred, opts core.Options) (*SemanticFilterResult, error) {
 	if m == nil {
 		return nil, fmt.Errorf("plan: semantic filter requires a model")
 	}
@@ -51,7 +53,10 @@ func SemanticFilter(ctx context.Context, t *relational.Table, m model.Model, pre
 	for i, r := range sel {
 		texts[i] = col[r]
 	}
-	es, err := core.ESelect(ctx, m, texts, sem.Query, sem.Threshold, core.Options{Kernel: vec.KernelSIMD})
+	// The relational pass already reduced to survivors; any row filter in
+	// opts refers to executor-side row spaces, not this selection.
+	opts.LeftFilter, opts.RightFilter = nil, nil
+	es, err := core.ESelect(ctx, m, texts, sem.Query, sem.Threshold, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"ejoin/internal/core"
 	"ejoin/internal/model"
 	"ejoin/internal/relational"
+	"ejoin/internal/vec"
 )
 
 func TestSemanticFilter(t *testing.T) {
@@ -19,7 +21,7 @@ func TestSemanticFilter(t *testing.T) {
 	ctx := context.Background()
 	res, err := SemanticFilter(ctx, left, m, nil, SemanticPred{
 		Column: "word", Query: "databases", Threshold: 0.5,
-	})
+	}, core.Options{Kernel: vec.DefaultKernel()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +48,7 @@ func TestSemanticFilterPushdown(t *testing.T) {
 	res, err := SemanticFilter(context.Background(), left, counted,
 		[]relational.Pred{{Column: "taken", Op: relational.GT, Value: cutoff}},
 		SemanticPred{Column: "word", Query: "clothing", Threshold: 0.3},
+		core.Options{},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -66,17 +69,17 @@ func TestSemanticFilterErrors(t *testing.T) {
 	left, _ := testTables(t)
 	m, _ := model.NewHashEmbedder(32)
 	ctx := context.Background()
-	if _, err := SemanticFilter(ctx, left, nil, nil, SemanticPred{Column: "word", Query: "x"}); err == nil {
+	if _, err := SemanticFilter(ctx, left, nil, nil, SemanticPred{Column: "word", Query: "x"}, core.Options{}); err == nil {
 		t.Error("expected nil-model error")
 	}
-	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "missing", Query: "x"}); err == nil {
+	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "missing", Query: "x"}, core.Options{}); err == nil {
 		t.Error("expected missing-column error")
 	}
 	if _, err := SemanticFilter(ctx, left, m, []relational.Pred{{Column: "nope", Op: relational.EQ, Value: int64(1)}},
-		SemanticPred{Column: "word", Query: "x"}); err == nil {
+		SemanticPred{Column: "word", Query: "x"}, core.Options{}); err == nil {
 		t.Error("expected predicate error")
 	}
-	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "word", Query: ""}); err == nil {
+	if _, err := SemanticFilter(ctx, left, m, nil, SemanticPred{Column: "word", Query: ""}, core.Options{}); err == nil {
 		t.Error("expected empty-query error")
 	}
 }
@@ -85,7 +88,7 @@ func TestSemanticFilterResultTable(t *testing.T) {
 	left, _ := testTables(t)
 	m, _ := model.NewHashEmbedder(64)
 	res, err := SemanticFilter(context.Background(), left, m, nil,
-		SemanticPred{Column: "word", Query: "barbecues", Threshold: 0.5})
+		SemanticPred{Column: "word", Query: "barbecues", Threshold: 0.5}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ejoin/internal/durable"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 )
 
@@ -69,6 +70,15 @@ func Open(cfg Config) (*Engine, error) {
 			continue
 		}
 		e.catalog.Register(entry.Name, t)
+		// Restore the table's precision knob with the table; an invalid
+		// value degrades to exact, never to an error.
+		if p, err := quant.ParsePrecision(entry.Precision); err != nil {
+			d.warnings = append(d.warnings, fmt.Sprintf("table %q: %v (running exact)", entry.Name, err))
+		} else if err := ValidateScanPrecision(p); err != nil {
+			d.warnings = append(d.warnings, fmt.Sprintf("table %q: %v (running exact)", entry.Name, err))
+		} else {
+			e.tablePrec.set(entry.Name, p)
+		}
 		kept = append(kept, entry)
 		d.loadedTables++
 	}
@@ -198,14 +208,48 @@ func (e *Engine) persistTable(name string, t *relational.Table) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.manifest.Upsert(durable.TableEntry{
-		Name: name,
-		File: d.layout.TableFileRel(name),
-		Rows: t.NumRows(),
-		Cols: t.NumCols(),
+		Name:      name,
+		File:      d.layout.TableFileRel(name),
+		Rows:      t.NumRows(),
+		Cols:      t.NumCols(),
+		Precision: manifestPrecision(e.tablePrec.get(name)),
 	})
 	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
 		return fmt.Errorf("%w: manifest: %v", ErrPersist, err)
 	}
+	return nil
+}
+
+// manifestPrecision renders a knob for the manifest: unset stays "" so
+// unknobbed tables keep a minimal entry.
+func manifestPrecision(p quant.Precision) string {
+	if p == quant.PrecisionAuto {
+		return ""
+	}
+	return p.String()
+}
+
+// persistTablePrecision mirrors one precision-knob change into the
+// manifest. Memory-only engines return nil immediately.
+func (e *Engine) persistTablePrecision(name string, p quant.Precision) error {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	name = strings.ToLower(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.manifest.Tables {
+		if d.manifest.Tables[i].Name == name {
+			d.manifest.Tables[i].Precision = manifestPrecision(p)
+			if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+				return fmt.Errorf("%w: manifest: %v", ErrPersist, err)
+			}
+			return nil
+		}
+	}
+	// Table registered but not persisted (e.g. a prior persist failure):
+	// the knob is live in memory; nothing durable to update.
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"ejoin/internal/model"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 )
 
@@ -277,5 +278,46 @@ func TestConcurrentCreateOnlyOneWins(t *testing.T) {
 	if created.Load() != 1 || conflicted.Load() != racers-1 {
 		t.Errorf("created=%d conflicted=%d, want 1/%d: the existence check must be atomic with registration",
 			created.Load(), conflicted.Load(), racers-1)
+	}
+}
+
+// TestDurablePrecisionKnobSurvivesRestart: a per-table precision opt-in
+// is part of the table's durable state — a warm reboot must serve the
+// same quantized joins the operator configured, and replacing a table
+// must clear the persisted knob like the in-memory one.
+func TestDurablePrecisionKnobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	e1, _ := openTestEngine(t, dir)
+	ingestPair(t, e1)
+	if err := e1.SetTablePrecision("left", quant.PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	if res := runQuery(t, e1); res.Precision != "int8" {
+		t.Fatalf("pre-restart precision %q", res.Precision)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _ := openTestEngine(t, dir)
+	if got := e2.TablePrecision("left"); got != quant.PrecisionInt8 {
+		t.Fatalf("knob lost across restart: %v", got)
+	}
+	if res := runQuery(t, e2); res.Precision != "int8" {
+		t.Fatalf("post-restart precision %q", res.Precision)
+	}
+	// Replacing the table clears the durable knob too.
+	schema := relational.Schema{{Name: "text", Type: relational.String}}
+	if _, err := e2.RegisterCSV("left", schema, strings.NewReader("text\nfresh\n"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e3, _ := openTestEngine(t, dir)
+	defer e3.Close()
+	if got := e3.TablePrecision("left"); got != quant.PrecisionAuto {
+		t.Fatalf("replaced table's knob came back: %v", got)
 	}
 }

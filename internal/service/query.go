@@ -9,9 +9,19 @@ import (
 
 	"ejoin/internal/core"
 	"ejoin/internal/plan"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/sqlish"
 )
+
+// effectivePrecision is what a plan's precision executes as: Auto runs
+// exact, and non-quantizable shapes are exact regardless.
+func effectivePrecision(pl *plan.EJoin) quant.Precision {
+	if pl.Precision == quant.PrecisionAuto || !pl.Quantizable() {
+		return quant.PrecisionF32
+	}
+	return pl.Precision
+}
 
 // QueryRequest is one query: sqlish text or a structured join spec.
 type QueryRequest struct {
@@ -46,6 +56,9 @@ type JoinRequest struct {
 type QueryResult struct {
 	// Strategy is the physical strategy the planner chose.
 	Strategy string
+	// Precision is the scan precision the join executed at ("f32" for
+	// exact plans; quantized threshold scans report "f16"/"int8").
+	Precision string
 	// Matches are the qualifying pairs (global row ids + similarity).
 	Matches []core.Match
 	// Stats is the executor's account of the work performed.
@@ -129,6 +142,20 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	if err != nil {
 		return nil, err
 	}
+	// Per-table precision knobs override the planner's cost-based choice:
+	// the coarser of the two sides' declarations wins. Only threshold
+	// scans quantize — top-k ranks by exact similarity and index probes
+	// rerank internally — so the knob is a no-op elsewhere.
+	if optimized.Quantizable() {
+		if p := e.joinPrecision(q.Left.Name, q.Right.Name); p != quant.PrecisionAuto {
+			optimized.Precision = p
+			// The knob is a forced choice: clear any cost-based residue so
+			// the executor's slack-based demotion guard never overrides an
+			// explicit operator opt-in.
+			optimized.PrecisionSlack = 0
+			optimized.PrecisionEstimates = nil
+		}
+	}
 
 	weight := plan.EstimateFootprint(optimized, e.footprintDim(q), e.exec.Options)
 	if weight > e.cfg.AdmissionBytes {
@@ -156,7 +183,7 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 		return nil, err
 	}
 
-	e.recordExecution(optimized.Strategy.String(), res.Stats)
+	e.recordExecution(optimized.Strategy.String(), effectivePrecision(optimized), res.Stats)
 
 	matches := res.Matches
 	if req.Limit > 0 && len(matches) > req.Limit {
@@ -164,6 +191,7 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	}
 	out := &QueryResult{
 		Strategy:      optimized.Strategy.String(),
+		Precision:     effectivePrecision(optimized).String(),
 		Matches:       matches,
 		Stats:         res.Stats,
 		PlanCacheHit:  cacheHit,

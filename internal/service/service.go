@@ -36,6 +36,7 @@ import (
 	"ejoin/internal/embstore"
 	"ejoin/internal/model"
 	"ejoin/internal/plan"
+	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/sqlish"
 	"ejoin/internal/vec"
@@ -77,13 +78,21 @@ type Config struct {
 	// product stays near GOMAXPROCS instead of oversubscribing the CPU
 	// quadratically under full admission.
 	Threads int
-	// Kernel selects the compute kernel (default SIMD).
+	// Kernel selects the compute kernel. The zero value resolves to
+	// vec.DefaultKernel() (SIMD) — the scalar kernel exists for ablation
+	// benchmarks and cannot be selected through the service.
 	Kernel vec.Kernel
 	// BudgetBytes bounds each query's tensor-join intermediate block
 	// (default 32 MiB); serving should never materialize D whole.
 	BudgetBytes int64
 	// CostParams parametrizes the planner; zero value uses defaults.
 	CostParams cost.Params
+	// PrecisionSlack opts the planner into the precision ladder: the
+	// result drift tolerated at a threshold join's boundary. When > 0 the
+	// optimizer may pick F16/INT8 scans (cost.ChooseJoinPrecision) under
+	// the admission byte budget; 0 (the default) keeps every plan exact
+	// unless a per-table precision is declared (SetTablePrecision).
+	PrecisionSlack float64
 	// DataDir, when non-empty, makes the engine durable: Open recovers
 	// tables and cached embeddings from it, the embedding store persists
 	// write-behind into it, and ingested tables are written to it. Empty
@@ -101,6 +110,9 @@ type TableInfo struct {
 	Name string `json:"name"`
 	Rows int    `json:"rows"`
 	Cols int    `json:"cols"`
+	// Precision is the table's declared join precision ("auto" unless set
+	// via SetTablePrecision).
+	Precision string `json:"precision"`
 }
 
 // Engine is a long-lived, concurrency-safe query engine: one per process,
@@ -119,6 +131,9 @@ type Engine struct {
 	// durable is non-nil for engines built with Open over a data
 	// directory; nil engines are memory-only.
 	durable *durableState
+
+	// tablePrec is the per-table precision knob (see precision.go).
+	tablePrec tablePrecisions
 
 	counters counters
 	start    time.Time
@@ -165,6 +180,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.CostParams.Validate() != nil {
 		cfg.CostParams = cost.DefaultParams()
 	}
+	if cfg.Kernel == vec.KernelScalar {
+		// The zero value means "unset", not a scalar-kernel request.
+		cfg.Kernel = vec.DefaultKernel()
+	}
 
 	ex := &plan.Executor{
 		Options: core.Options{
@@ -175,6 +194,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Store: store,
 	}
 	opt := &plan.Optimizer{Params: cfg.CostParams, Store: store}
+	if cfg.PrecisionSlack > 0 {
+		opt.PrecisionSlack = cfg.PrecisionSlack
+		// Precision planning budgets against the same byte budget that
+		// gates admission: the quantity both exist to protect.
+		opt.MemoryBudget = cfg.AdmissionBytes
+	}
 
 	return &Engine{
 		cfg:     cfg,
@@ -216,6 +241,8 @@ var ErrNotDurable = errors.New("service: engine has no data directory")
 // RegisterTable adds or replaces a named table. Registration advances the
 // catalog generation, invalidating prepared plans bound to the old table.
 // On a durable engine the table is also written to the data directory.
+// A replaced table's precision knob is cleared — new contents opt into
+// quantization explicitly, matching drop-then-create semantics.
 func (e *Engine) RegisterTable(name string, t *relational.Table) error {
 	if name == "" {
 		return fmt.Errorf("service: empty table name")
@@ -223,7 +250,14 @@ func (e *Engine) RegisterTable(name string, t *relational.Table) error {
 	if t == nil {
 		return fmt.Errorf("service: nil table %q", name)
 	}
+	return e.registerTableWithPrecision(name, t, quant.PrecisionAuto)
+}
+
+// registerTableWithPrecision registers (or replaces) a table and its
+// precision knob together, so one durable manifest write carries both.
+func (e *Engine) registerTableWithPrecision(name string, t *relational.Table, prec quant.Precision) error {
 	e.catalog.Register(name, t)
+	e.tablePrec.set(name, prec) // Auto clears any previous knob
 	// Eagerly drop bindings taken under older generations: lazy get-time
 	// invalidation only fires when the same text is re-queried, which
 	// would otherwise pin replaced tables in memory indefinitely.
@@ -245,8 +279,19 @@ func (e *Engine) HasTable(name string) bool {
 // the whole upload and clobber the table). With replace true the new
 // contents take over.
 func (e *Engine) RegisterCSV(name string, schema relational.Schema, r io.Reader, replace bool) (int, error) {
+	return e.RegisterCSVWithPrecision(name, schema, r, replace, quant.PrecisionAuto)
+}
+
+// RegisterCSVWithPrecision is RegisterCSV with the table's precision
+// knob declared as part of the registration: the knob and the table land
+// in one durable manifest write, so a crash cannot keep the table while
+// losing the declared precision.
+func (e *Engine) RegisterCSVWithPrecision(name string, schema relational.Schema, r io.Reader, replace bool, prec quant.Precision) (int, error) {
 	if name == "" {
 		return 0, fmt.Errorf("service: empty table name")
+	}
+	if err := ValidateScanPrecision(prec); err != nil {
+		return 0, err
 	}
 	if !replace && e.HasTable(name) {
 		return 0, fmt.Errorf("%w: %q (pass replace to overwrite)", ErrTableExists, name)
@@ -256,11 +301,12 @@ func (e *Engine) RegisterCSV(name string, schema relational.Schema, r io.Reader,
 		return 0, err
 	}
 	if replace {
-		err = e.RegisterTable(name, t)
+		err = e.registerTableWithPrecision(name, t, prec)
 	} else if !e.catalog.RegisterIfAbsent(name, t) {
 		// Lost a create-create race after the cheap pre-check.
 		err = fmt.Errorf("%w: %q (pass replace to overwrite)", ErrTableExists, name)
 	} else {
+		e.tablePrec.set(name, prec)
 		e.plans.purgeStale(e.catalog.Generation())
 		err = e.persistTable(name, t)
 	}
@@ -276,6 +322,7 @@ func (e *Engine) DropTable(name string) bool {
 	ok := e.catalog.Drop(name)
 	if ok {
 		e.plans.purgeStale(e.catalog.Generation())
+		e.tablePrec.drop(name)
 		e.unpersistTable(name)
 	}
 	return ok
@@ -290,7 +337,7 @@ func (e *Engine) Tables() []TableInfo {
 		if !ok {
 			continue // dropped between Names and Get
 		}
-		out = append(out, TableInfo{Name: n, Rows: t.NumRows(), Cols: t.NumCols()})
+		out = append(out, TableInfo{Name: n, Rows: t.NumRows(), Cols: t.NumCols(), Precision: e.tablePrec.get(n).String()})
 	}
 	return out
 }

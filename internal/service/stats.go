@@ -7,6 +7,7 @@ import (
 
 	"ejoin/internal/core"
 	"ejoin/internal/embstore"
+	"ejoin/internal/quant"
 )
 
 // counters holds the engine's mutable statistics. Scalar counts are
@@ -22,10 +23,11 @@ type counters struct {
 	mu         sync.Mutex
 	join       core.Stats
 	strategies map[string]int64
+	precisions map[string]int64
 }
 
 // recordExecution folds one successful execution into the aggregates.
-func (e *Engine) recordExecution(strategy string, s core.Stats) {
+func (e *Engine) recordExecution(strategy string, precision quant.Precision, s core.Stats) {
 	c := &e.counters
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -41,6 +43,21 @@ func (e *Engine) recordExecution(strategy string, s core.Stats) {
 		c.strategies = make(map[string]int64)
 	}
 	c.strategies[strategy]++
+	if c.precisions == nil {
+		c.precisions = make(map[string]int64)
+	}
+	c.precisions[precision.String()]++
+}
+
+// QuantStats is the precision ladder's observability surface.
+type QuantStats struct {
+	// TablePrecisions maps tables with a declared precision knob to it.
+	TablePrecisions map[string]string `json:"table_precisions,omitempty"`
+	// JoinsByPrecision counts executed joins per effective scan precision.
+	JoinsByPrecision map[string]int64 `json:"joins_by_precision,omitempty"`
+	// PrecisionSlack is the configured planner slack (0 = exact plans
+	// unless a table knob forces otherwise).
+	PrecisionSlack float64 `json:"precision_slack"`
 }
 
 // ServerStats is the engine's aggregated observability surface: request
@@ -79,6 +96,9 @@ type ServerStats struct {
 	Join core.Stats `json:"join"`
 	// Strategies counts executions per physical strategy.
 	Strategies map[string]int64 `json:"strategies"`
+	// Quant describes the precision ladder: per-table knobs and joins
+	// executed per precision.
+	Quant QuantStats `json:"quant"`
 	// Store is the shared embedding store's statistics.
 	Store embstore.Stats `json:"store"`
 	// StoreModels counts cached entries per model fingerprint (the
@@ -111,11 +131,19 @@ func (e *Engine) Stats() ServerStats {
 		StoreModels:            e.store.ModelEntries(),
 		Durable:                e.durableStats(),
 	}
+	st.Quant.TablePrecisions = e.tablePrec.snapshot()
+	st.Quant.PrecisionSlack = e.cfg.PrecisionSlack
 	c.mu.Lock()
 	st.Join = c.join
 	st.Strategies = make(map[string]int64, len(c.strategies))
 	for k, v := range c.strategies {
 		st.Strategies[k] = v
+	}
+	if len(c.precisions) > 0 {
+		st.Quant.JoinsByPrecision = make(map[string]int64, len(c.precisions))
+		for k, v := range c.precisions {
+			st.Quant.JoinsByPrecision[k] = v
+		}
 	}
 	c.mu.Unlock()
 	return st

@@ -46,6 +46,12 @@ func (k Kernel) String() string {
 	}
 }
 
+// DefaultKernel is the kernel execution defaults to when the caller has
+// no preference: the unrolled SIMD-style implementation, which is never
+// slower than scalar. The cmds and the executor's fallback path all
+// resolve their default through this single point.
+func DefaultKernel() Kernel { return KernelSIMD }
+
 // ErrDimensionMismatch is returned when two vectors of different
 // dimensionality are combined.
 var ErrDimensionMismatch = errors.New("vec: dimension mismatch")

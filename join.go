@@ -33,7 +33,7 @@ func JoinStrings(ctx context.Context, m Model, left, right []string, threshold f
 	if err != nil {
 		return nil, fmt.Errorf("ejoin: embedding right input: %w", err)
 	}
-	res, err := core.TensorJoin(ctx, lm, rm, threshold, core.Options{Kernel: vec.KernelSIMD})
+	res, err := core.TensorJoin(ctx, lm, rm, threshold, core.Options{Kernel: vec.DefaultKernel()})
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func TopKStrings(ctx context.Context, m Model, left, right []string, k int) ([]S
 	if err != nil {
 		return nil, fmt.Errorf("ejoin: embedding right input: %w", err)
 	}
-	res, err := core.TensorTopK(ctx, lm, rm, k, core.Options{Kernel: vec.KernelSIMD})
+	res, err := core.TensorTopK(ctx, lm, rm, k, core.Options{Kernel: vec.DefaultKernel()})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,60 @@
+package ejoin
+
+// Precision ladder re-exports: the storage/compute precision a join
+// executes at, and the quantized index access path. See README
+// "Precision ladder" for the memory/accuracy/speed table.
+
+import (
+	"ejoin/internal/ivf"
+	"ejoin/internal/mat"
+	"ejoin/internal/quant"
+)
+
+// Precision is one rung of the precision ladder (F32 exact, F16 half,
+// INT8 scalar-quantized, PQ product-quantized index codes).
+type Precision = quant.Precision
+
+// Precision rungs. PrecisionAuto lets the planner choose; plans without
+// slack or per-table knobs execute exact (F32).
+const (
+	PrecisionAuto = quant.PrecisionAuto
+	PrecisionF32  = quant.PrecisionF32
+	PrecisionF16  = quant.PrecisionF16
+	PrecisionInt8 = quant.PrecisionInt8
+	PrecisionPQ   = quant.PrecisionPQ
+)
+
+// ParsePrecision parses a precision name ("auto", "f32", "f16", "int8",
+// "pq"; case-insensitive).
+func ParsePrecision(s string) (Precision, error) { return quant.ParsePrecision(s) }
+
+// PQConfig holds product-quantizer training parameters (M subspaces,
+// centroids per subspace, k-means iterations, seed).
+type PQConfig = quant.PQConfig
+
+// PQIndex is the PQ-compressed IVF index: 4-16x smaller resident storage
+// than IVF-Flat, probed with asymmetric-distance lookup tables and an
+// exact rerank pass over attached float32 vectors.
+type PQIndex = ivf.PQIndex
+
+// BuildPQIndex builds a PQ-compressed IVF index over row vectors. Call
+// AttachPQRerank with the originals to enable the exact rerank pass that
+// restores recall.
+func BuildPQIndex(rows [][]float32, cfg IVFConfig, pq PQConfig) (*PQIndex, error) {
+	m, err := mat.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return ivf.BuildPQ(m, cfg, pq)
+}
+
+// AttachPQRerank attaches the exact vectors the index's rerank pass
+// scores against (normalized copies of the indexed rows, in id order).
+func AttachPQRerank(ix *PQIndex, rows [][]float32) error {
+	m, err := mat.FromRows(rows)
+	if err != nil {
+		return err
+	}
+	m.NormalizeRows()
+	return ix.AttachRerank(m)
+}
