@@ -15,7 +15,9 @@
 // Endpoints: POST /query (sqlish text or structured join spec), POST
 // /tables (CSV ingest; duplicate names are 409 unless replace is set; a
 // "precision" field declares the table's join precision), GET /tables,
-// DELETE /tables/{name}, PUT /tables/{name}/precision (set the per-table
+// DELETE /tables/{name}, POST /tables/{name}/rows (row-level upsert by
+// key column; WAL-logged before applying on durable engines), DELETE
+// /tables/{name}/rows (tombstone rows by key), PUT /tables/{name}/precision (set the per-table
 // precision knob: auto, f32, f16, or int8 — the coarser of two joined
 // tables' knobs governs their threshold scans), POST /snapshot (flush +
 // compact durable state), GET /stats (includes quantization stats),
@@ -59,6 +61,8 @@ func main() {
 		dataDir        = flag.String("data-dir", "", "data directory for durable state (empty = memory-only); restarts on the same directory serve warm")
 		segmentBytes   = flag.Int64("segment-bytes", 64<<20, "embedding log segment size before rotation")
 		precisionSlack = flag.Float64("precision-slack", 0, "result drift tolerated at threshold-join boundaries; > 0 lets the planner pick f16/int8 scans (0 = exact plans)")
+		indexTables    = flag.Bool("index-tables", false, "maintain an IVF vector index per table with a vector column (inserts append; churn re-clusters)")
+		reclusterFrac  = flag.Float64("recluster-fraction", 0, "deleted fraction of a table that triggers a background index re-cluster (0 = default 0.3, negative = never)")
 	)
 	flag.Parse()
 
@@ -74,6 +78,9 @@ func main() {
 		DataDir:        *dataDir,
 		SegmentBytes:   *segmentBytes,
 		PrecisionSlack: *precisionSlack,
+
+		IndexTables:       *indexTables,
+		ReclusterFraction: *reclusterFrac,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ejserve:", err)
@@ -86,6 +93,10 @@ func main() {
 			for _, warn := range d.Warnings {
 				log.Printf("ejserve: durable: recovery: %s", warn)
 			}
+		}
+		if m := st.Mutation; m != nil && m.WAL != nil {
+			log.Printf("ejserve: mutation: wal replayed %d records (%d skipped, %d torn bytes truncated)",
+				m.ReplayedRecords, m.SkippedRecords, m.WAL.TruncatedBytes)
 		}
 	}
 

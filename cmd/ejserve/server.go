@@ -32,6 +32,8 @@ func newServer(e *service.Engine) *server {
 	s.mux.HandleFunc("GET /tables", s.handleListTables)
 	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
+	s.mux.HandleFunc("POST /tables/{name}/rows", s.handleUpsertRows)
+	s.mux.HandleFunc("DELETE /tables/{name}/rows", s.handleDeleteRows)
 	s.mux.HandleFunc("PUT /tables/{name}/precision", s.handleSetPrecision)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
@@ -137,6 +139,99 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows, "precision": prec.String()})
+}
+
+// upsertRowsRequest mutates rows in place:
+//
+//	POST /tables/{name}/rows
+//	{"key": "sku", "csv": "sku,name\n1,barbecue grill\n"}
+//
+// Alternatively POST with a text/csv body and ?key=sku. The key column
+// decides insert-vs-replace: a row whose key matches a live row replaces
+// it (the old row is tombstoned), otherwise it inserts. The batch must
+// carry the table's full schema. On a durable engine the batch is WAL-
+// logged (fsynced) before it is applied.
+type upsertRowsRequest struct {
+	Key string `json:"key"`
+	CSV string `json:"csv"`
+}
+
+func (s *server) handleUpsertRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req upsertRowsRequest
+	var csvSrc io.Reader
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		req.Key = r.URL.Query().Get("key")
+		csvSrc = r.Body
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	} else {
+		csvSrc = strings.NewReader(req.CSV)
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, "key column is required (body \"key\" or ?key=)")
+		return
+	}
+	if !s.engine.HasTable(name) {
+		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		return
+	}
+	res, err := s.engine.UpsertCSV(name, req.Key, csvSrc)
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// deleteRowsRequest tombstones rows by key:
+//
+//	DELETE /tables/{name}/rows
+//	{"key": "sku", "keys": ["1", "17"]}
+//
+// Key values are canonical strings (integers base 10, floats Go 'g',
+// times RFC 3339). Unknown keys are reported in "missing", not errors.
+type deleteRowsRequest struct {
+	Key  string   `json:"key"`
+	Keys []string `json:"keys"`
+}
+
+func (s *server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req deleteRowsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, "key column is required")
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeError(w, http.StatusBadRequest, "keys must be non-empty")
+		return
+	}
+	if !s.engine.HasTable(name) {
+		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		return
+	}
+	res, err := s.engine.DeleteRows(name, req.Key, req.Keys)
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeMutationError maps a mutation failure: durable-write faults are
+// the server's (500), everything else is the request's (400).
+func writeMutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, service.ErrPersist) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
 }
 
 // setPrecisionRequest is the PUT /tables/{name}/precision body.

@@ -419,3 +419,97 @@ func TestCreateTableWithPrecision(t *testing.T) {
 		}
 	}
 }
+
+func TestRowMutationEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	countMatches := func() float64 {
+		t.Helper()
+		status, body := doJSON(t, http.MethodPost, ts.URL+"/query",
+			`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.5"}`)
+		if status != http.StatusOK {
+			t.Fatalf("query: %d %v", status, body)
+		}
+		return float64(len(body["matches"].([]any)))
+	}
+	baseline := countMatches()
+
+	// Upsert an exact duplicate of a catalog name into the feed: at least
+	// one new sim=1.0 pair appears.
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/tables/feed/rows",
+		`{"key": "title", "csv": "title\nbarbecue\n"}`)
+	if status != http.StatusOK {
+		t.Fatalf("upsert: %d %v", status, body)
+	}
+	if body["gen"].(float64) != 1 || body["upserted"].(float64) != 1 || body["live_rows"].(float64) != 5 {
+		t.Fatalf("upsert body: %v", body)
+	}
+	if got := countMatches(); got <= baseline {
+		t.Fatalf("matches after upsert %v, baseline %v", got, baseline)
+	}
+
+	// The CSV body variant replaces the same key (insert-vs-replace).
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/tables/feed/rows?key=title", strings.NewReader("title\nbarbecue\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBody map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&csvBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || csvBody["replaced"].(float64) != 1 {
+		t.Fatalf("csv upsert: %d %v", resp.StatusCode, csvBody)
+	}
+
+	// Delete restores the baseline; unknown keys count as missing.
+	status, body = doJSON(t, http.MethodDelete, ts.URL+"/tables/feed/rows",
+		`{"key": "title", "keys": ["barbecue", "nosuch"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("delete: %d %v", status, body)
+	}
+	if body["deleted"].(float64) != 1 || body["missing"].(float64) != 1 {
+		t.Fatalf("delete body: %v", body)
+	}
+	if got := countMatches(); got != baseline {
+		t.Fatalf("matches after delete %v, want baseline %v", got, baseline)
+	}
+
+	// Mutation stats surface in /stats.
+	status, body = doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	mut := body["mutation"].(map[string]any)
+	if mut["upserts"].(float64) != 2 || mut["deletes"].(float64) != 1 {
+		t.Fatalf("mutation stats: %v", mut)
+	}
+}
+
+func TestRowMutationValidation(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	for _, tc := range []struct {
+		name, method, url, body string
+		want                    int
+	}{
+		{"missing key", http.MethodPost, "/tables/feed/rows", `{"csv": "title\nx\n"}`, http.StatusBadRequest},
+		{"unknown table", http.MethodPost, "/tables/nosuch/rows", `{"key": "title", "csv": "title\nx\n"}`, http.StatusNotFound},
+		{"schema mismatch", http.MethodPost, "/tables/feed/rows", `{"key": "title", "csv": "wrong\nx\n"}`, http.StatusBadRequest},
+		{"bad key column", http.MethodPost, "/tables/feed/rows", `{"key": "nocol", "csv": "title\nx\n"}`, http.StatusBadRequest},
+		{"empty keys", http.MethodDelete, "/tables/feed/rows", `{"key": "title", "keys": []}`, http.StatusBadRequest},
+		{"delete unknown table", http.MethodDelete, "/tables/nosuch/rows", `{"key": "title", "keys": ["x"]}`, http.StatusNotFound},
+	} {
+		status, body := doJSON(t, tc.method, ts.URL+tc.url, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d (want %d), body %v", tc.name, status, tc.want, body)
+		}
+	}
+}

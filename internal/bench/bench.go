@@ -101,6 +101,7 @@ func Registry() []Experiment {
 		expCache(),
 		expServe(),
 		expPersist(),
+		expMutate(),
 		expBlockSize(),
 		expHNSWRecall(),
 		expIVF(),

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ejoin/internal/ivf"
+	"ejoin/internal/mat"
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+	"ejoin/internal/service"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// mutateReport is the machine-readable result (BENCH_mutate.json).
+type mutateReport struct {
+	RowsPerSide int `json:"rows_per_side"`
+	// Sustained write throughput with readers running concurrently.
+	MutationBatches  int     `json:"mutation_batches"`
+	MutatedRows      int     `json:"mutated_rows"`
+	MutationsPerSec  float64 `json:"mutations_per_sec"`
+	RowsPerSec       float64 `json:"rows_per_sec"`
+	ConcurrentReads  int64   `json:"concurrent_reads"`
+	ReadsPerSec      float64 `json:"reads_per_sec"`
+	MeanReadMs       float64 `json:"mean_read_ms"`
+	WalBytesAppended int64   `json:"wal_bytes_appended"`
+	// Index churn: recall@10 against brute force over the live rows,
+	// before and after the incremental re-cluster.
+	IndexRows     int     `json:"index_rows"`
+	RecallBefore  float64 `json:"recall_before"`
+	RecallAfter   float64 `json:"recall_after"`
+	ReclusterMs   float64 `json:"recluster_ms"`
+	FullRebuildMs float64 `json:"full_rebuild_ms"`
+	RecallRebuilt float64 `json:"recall_rebuilt"`
+}
+
+// expMutate measures the live-mutation arm: sustained upsert/delete
+// batches against a durable WAL-backed engine while readers query
+// concurrently (MVCC snapshots — writers never block reads), then the
+// index-churn story: tombstone most of an IVF index's training data,
+// append a drifted distribution, and compare recall@10 before and after
+// the incremental re-cluster against a from-scratch rebuild.
+func expMutate() Experiment {
+	return Experiment{
+		Name:        "mutate",
+		Paper:       "Live mutation (new)",
+		Description: "Upsert/delete throughput under concurrent queries, WAL cost, and IVF recall before/after incremental re-cluster.",
+		Run: func(w io.Writer, cfg Config) error {
+			rep := mutateReport{RowsPerSide: cfg.size(480)}
+			if err := mutateThroughput(&rep, cfg); err != nil {
+				return err
+			}
+			if err := mutateRecall(&rep, cfg); err != nil {
+				return err
+			}
+
+			t := newTable("Phase", "Metric", "Value")
+			t.addRow("writes", "mutation batches/s", fmt.Sprintf("%.0f", rep.MutationsPerSec))
+			t.addRow("writes", "rows/s", fmt.Sprintf("%.0f", rep.RowsPerSec))
+			t.addRow("writes", "wal bytes appended", fmt.Sprint(rep.WalBytesAppended))
+			t.addRow("reads", "concurrent queries/s", fmt.Sprintf("%.0f", rep.ReadsPerSec))
+			t.addRow("reads", "mean latency [ms]", fmt.Sprintf("%.2f", rep.MeanReadMs))
+			t.addRow("index", "recall@10 drifted", fmt.Sprintf("%.3f", rep.RecallBefore))
+			t.addRow("index", "recall@10 re-clustered", fmt.Sprintf("%.3f", rep.RecallAfter))
+			t.addRow("index", "recall@10 rebuilt", fmt.Sprintf("%.3f", rep.RecallRebuilt))
+			t.addRow("index", "re-cluster [ms]", fmt.Sprintf("%.2f", rep.ReclusterMs))
+			t.addRow("index", "full rebuild [ms]", fmt.Sprintf("%.2f", rep.FullRebuildMs))
+			t.print(w)
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_mutate.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "\nwrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// mutateThroughput drives upsert/delete batches against a durable engine
+// while reader goroutines query the same tables.
+func mutateThroughput(rep *mutateReport, cfg Config) error {
+	dir, err := os.MkdirTemp("", "ejoin-mutate-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	base, err := model.NewHashEmbedder(100)
+	if err != nil {
+		return err
+	}
+	engine, err := service.Open(service.Config{
+		Model:   base,
+		Threads: cfg.threads(),
+		DataDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	rows := rep.RowsPerSide
+	lt, err := stringTable(workload.Strings(cfg.Seed, rows, nil))
+	if err != nil {
+		return err
+	}
+	rt, err := stringTable(workload.Strings(cfg.Seed+1, rows, nil))
+	if err != nil {
+		return err
+	}
+	if err := engine.RegisterTable("left", lt); err != nil {
+		return err
+	}
+	if err := engine.RegisterTable("right", rt); err != nil {
+		return err
+	}
+	const query = "SELECT * FROM left JOIN right ON SIM(left.text, right.text) >= 0.80"
+	if _, err := engine.Query(context.Background(), service.QueryRequest{SQL: query}); err != nil {
+		return err // warm the cache so readers measure steady state
+	}
+
+	// Batches of 8: upserts introduce fresh keyed rows, deletes retire the
+	// previous upsert's keys, so the table's live size stays bounded while
+	// both WAL record kinds are exercised.
+	batches := cfg.size(120)
+	const batchRows = 8
+	fresh := workload.Strings(cfg.Seed+2, batches*batchRows, nil)
+
+	stop := make(chan struct{})
+	var reads, readNs atomic.Int64
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := engine.Query(context.Background(), service.QueryRequest{SQL: query}); err != nil {
+					return
+				}
+				reads.Add(1)
+				readNs.Add(time.Since(t0).Nanoseconds())
+			}
+		}()
+	}
+
+	walBefore := int64(0)
+	if st := engine.Stats().Mutation; st.WAL != nil {
+		walBefore = st.WAL.SizeBytes
+	}
+	t0 := time.Now()
+	for b := 0; b < batches; b++ {
+		vals := fresh[b*batchRows : (b+1)*batchRows]
+		bt, err := stringTable(vals)
+		if err != nil {
+			return err
+		}
+		if _, err := engine.UpsertRows("right", "text", bt); err != nil {
+			return err
+		}
+		if b > 0 {
+			prev := fresh[(b-1)*batchRows : b*batchRows]
+			if _, err := engine.DeleteRows("right", "text", prev); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	close(stop)
+	readers.Wait()
+
+	mutations := 2*batches - 1
+	rep.MutationBatches = mutations
+	rep.MutatedRows = mutations * batchRows
+	rep.MutationsPerSec = float64(mutations) / elapsed.Seconds()
+	rep.RowsPerSec = float64(rep.MutatedRows) / elapsed.Seconds()
+	rep.ConcurrentReads = reads.Load()
+	rep.ReadsPerSec = float64(reads.Load()) / elapsed.Seconds()
+	if n := reads.Load(); n > 0 {
+		rep.MeanReadMs = float64(readNs.Load()) / float64(n) / 1e6
+	}
+	if st := engine.Stats().Mutation; st.WAL != nil {
+		rep.WalBytesAppended = st.WAL.SizeBytes - walBefore
+	}
+	return nil
+}
+
+// mutateRecall reproduces the churn scenario the re-cluster trigger
+// exists for: an index trained on one distribution, that data tombstoned,
+// a drifted distribution appended.
+func mutateRecall(rep *mutateReport, cfg Config) error {
+	const dim = 16
+	n := cfg.size(600)
+	rep.IndexRows = 2 * n
+
+	old := workload.Vectors(cfg.Seed+10, n, dim)
+	for i := 0; i < n; i++ {
+		old.Row(i)[0] += 4 // dead cluster off at the +e0 pole
+	}
+	ix, err := ivf.Build(old, ivf.Config{NLists: 32, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fresh := workload.Vectors(cfg.Seed+11, n, dim)
+	if err := ix.Add(fresh); err != nil {
+		return err
+	}
+	live := relational.NewBitmap(2 * n)
+	for i := 0; i < n; i++ {
+		live.Set(n + i)
+	}
+
+	queries := workload.Vectors(cfg.Seed+12, 30, dim)
+	recall := func(ix *ivf.Index, live *relational.Bitmap, offset int) float64 {
+		hits, total := 0, 0
+		for qi := 0; qi < queries.Rows(); qi++ {
+			q := queries.Row(qi)
+			exact := bruteTop10(fresh, q)
+			res, err := ix.Search(q, 10, ivf.SearchOptions{NProbe: 16, Filter: live})
+			if err != nil {
+				return 0
+			}
+			for _, r := range res {
+				if exact[r.ID-offset] {
+					hits++
+				}
+			}
+			total += len(exact)
+		}
+		return float64(hits) / float64(total)
+	}
+
+	rep.RecallBefore = recall(ix, live, n)
+	t0 := time.Now()
+	if err := ix.Recluster(live); err != nil {
+		return err
+	}
+	rep.ReclusterMs = msF(time.Since(t0))
+	rep.RecallAfter = recall(ix, live, n)
+
+	// Reference: a from-scratch rebuild over the live rows only.
+	t0 = time.Now()
+	rebuilt, err := ivf.Build(fresh, ivf.Config{NLists: 32, Seed: cfg.Seed + 13})
+	if err != nil {
+		return err
+	}
+	rep.FullRebuildMs = msF(time.Since(t0))
+	allLive := relational.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		allLive.Set(i)
+	}
+	rep.RecallRebuilt = recall(rebuilt, allLive, 0)
+	return nil
+}
+
+// bruteTop10 is exact top-10 by cosine over data (unit rows).
+func bruteTop10(data *mat.Matrix, q []float32) map[int]bool {
+	nq := vec.Clone(q)
+	vec.Normalize(nq)
+	type scored struct {
+		id  int
+		sim float32
+	}
+	var best []scored
+	for i := 0; i < data.Rows(); i++ {
+		s := vec.Dot(vec.KernelSIMD, nq, data.Row(i))
+		pos := len(best)
+		for pos > 0 && best[pos-1].sim < s {
+			pos--
+		}
+		if pos < 10 {
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{id: i, sim: s}
+			if len(best) > 10 {
+				best = best[:10]
+			}
+		}
+	}
+	out := make(map[int]bool, len(best))
+	for _, b := range best {
+		out[b.id] = true
+	}
+	return out
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Subdirectory and file names inside a data directory.
@@ -47,6 +48,7 @@ const (
 	EmbDirName   = "emb"
 	TableDirName = "tables"
 	IndexDirName = "indexes"
+	WalName      = "wal.log"
 )
 
 // crcTable is the shared Castagnoli polynomial table (hardware-accelerated
@@ -75,10 +77,60 @@ func (l Layout) TablePath(name string) string {
 	return filepath.Join(l.TableDir(), sanitizeName(name)+".tbl")
 }
 
+// TombPath is the tombstone sidecar for one named table: the row-level
+// generation and dead row ids of the table's last checkpoint.
+func (l Layout) TombPath(name string) string {
+	return filepath.Join(l.TableDir(), sanitizeName(name)+".tomb")
+}
+
+// WalPath is the mutation write-ahead log (one per data directory).
+func (l Layout) WalPath() string { return filepath.Join(l.Dir, WalName) }
+
 // TableFileRel is TablePath relative to the data directory — the form
 // recorded in manifest entries.
 func (l Layout) TableFileRel(name string) string {
 	return TableDirName + "/" + sanitizeName(name) + ".tbl"
+}
+
+// CheckpointTableRel names a mutation checkpoint's table file (relative to
+// the data directory). Checkpoints never overwrite the live table file in
+// place: they stage under a generation-suffixed name and commit by
+// rewriting the manifest, whose File/TombFile/RowGen swap atomically.
+// Superseded and uncommitted checkpoint files match IsCheckpointFile and
+// are swept on open.
+func (l Layout) CheckpointTableRel(name string, gen uint64) string {
+	return fmt.Sprintf("%s/%s-g%016x.tbl", TableDirName, sanitizeName(name), gen)
+}
+
+// CheckpointTombRel names a mutation checkpoint's tombstone sidecar.
+func (l Layout) CheckpointTombRel(name string, gen uint64) string {
+	return fmt.Sprintf("%s/%s-g%016x.tomb", TableDirName, sanitizeName(name), gen)
+}
+
+// Resolve turns a manifest-relative file name into an absolute path.
+func (l Layout) Resolve(rel string) string {
+	return filepath.Join(l.Dir, filepath.FromSlash(rel))
+}
+
+// IsCheckpointFile reports whether a table-dir file name follows the
+// generation-suffixed checkpoint pattern (candidates for the orphan
+// sweep; registration-time files never match).
+func IsCheckpointFile(base string) bool {
+	ext := filepath.Ext(base)
+	if ext != ".tbl" && ext != ".tomb" {
+		return false
+	}
+	stem := strings.TrimSuffix(base, ext)
+	i := strings.LastIndex(stem, "-g")
+	if i < 0 || len(stem)-i-2 != 16 {
+		return false
+	}
+	for _, c := range stem[i+2:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Create makes the directory tree (idempotent).
@@ -114,9 +166,14 @@ func sanitizeName(name string) string {
 	return fmt.Sprintf("%s-%08x", out, sum)
 }
 
-// atomicWriteFile writes via fn into a temp file in path's directory,
+// AtomicWriteFile writes via fn into a temp file in path's directory,
 // fsyncs, and renames over path — readers never observe a partial file.
-func atomicWriteFile(path string, fn func(w io.Writer) error) error {
+// The parent directory is fsynced after the rename, so the committed name
+// survives a crash (a rename alone is only durable once its directory
+// entry reaches disk). This is the one shared write-commit helper: the
+// manifest, table files, index snapshots, compacted log segments, and the
+// mutation layer's tombstone sidecars all go through it.
+func AtomicWriteFile(path string, fn func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
@@ -138,13 +195,13 @@ func atomicWriteFile(path string, fn func(w io.Writer) error) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("durable: renaming %s: %w", path, err)
 	}
-	syncDir(dir)
+	SyncDir(dir)
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable. Best
-// effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
+// SyncDir fsyncs a directory so a rename, create, or remove within it is
+// durable. Best effort: some filesystems reject directory fsync.
+func SyncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
 		_ = d.Sync()
 		d.Close()

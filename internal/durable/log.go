@@ -221,6 +221,9 @@ func (l *Log) rotateLocked(id uint64) error {
 		f.Close()
 		return fmt.Errorf("durable: writing segment magic: %w", err)
 	}
+	// Make the new segment's directory entry durable: records fsynced into
+	// it are only recoverable if the file name itself survives the crash.
+	SyncDir(l.dir)
 	l.active = f
 	l.activeID = id
 	l.activeSize = int64(len(segMagic))
@@ -316,7 +319,7 @@ func (l *Log) Compact(source func(emit func(Record) error) error) (removed int, 
 	var newSize int64
 	var records int64
 	path := filepath.Join(l.dir, segName(newID))
-	err = atomicWriteFile(path, func(w io.Writer) error {
+	err = AtomicWriteFile(path, func(w io.Writer) error {
 		bw := bufio.NewWriterSize(w, 1<<16)
 		if _, err := bw.Write(segMagic[:]); err != nil {
 			return fmt.Errorf("durable: writing compacted magic: %w", err)
@@ -357,7 +360,7 @@ func (l *Log) Compact(source func(emit func(Record) error) error) (removed int, 
 			removed++
 		}
 	}
-	syncDir(l.dir)
+	SyncDir(l.dir)
 
 	// Adopt the compacted segment's identity before trying to reopen it:
 	// if the reopen fails, Append's self-heal rotates to newID+1 rather

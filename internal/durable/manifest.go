@@ -36,6 +36,20 @@ type TableEntry struct {
 	// Precision is the table's declared join precision ("" or "auto" when
 	// unset), so per-table quantization opt-ins survive restarts.
 	Precision string `json:"precision,omitempty"`
+	// Incarnation identifies this registration of the name: drop-then-
+	// recreate under the same name gets a fresh incarnation, so mutation
+	// WAL records from the old table can never replay into the new one.
+	Incarnation uint64 `json:"incarnation,omitempty"`
+	// RowGen is the table's row-level mutation generation as of its last
+	// checkpoint; WAL records at or below it are already folded into the
+	// table file and tombstone sidecar, and replay skips them.
+	RowGen uint64 `json:"row_gen,omitempty"`
+	// TombFile is the tombstone sidecar file name, relative to the data
+	// directory; empty when the checkpoint had no tombstoned rows. File,
+	// TombFile, and RowGen commit together in one atomic manifest write —
+	// that write is the checkpoint's commit point, so a crash mid-
+	// checkpoint leaves the previous consistent triple.
+	TombFile string `json:"tomb_file,omitempty"`
 }
 
 // Sort orders entries by name (canonical form, stable diffs).
@@ -90,7 +104,7 @@ func ReadManifest(path string) (Manifest, error) {
 func (m Manifest) Write(path string) error {
 	m.Version = ManifestVersion
 	m.Sort()
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(m)

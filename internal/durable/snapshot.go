@@ -149,7 +149,7 @@ func LoadIndex(r io.Reader) (vindex.Index, error) {
 
 // SaveIndexFile atomically writes ix's snapshot to path.
 func SaveIndexFile(path string, ix vindex.Snapshotter) error {
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		return SaveIndex(w, ix)
 	})
 }

@@ -332,7 +332,7 @@ func ReadTable(r io.Reader) (*relational.Table, error) {
 
 // WriteTableFile atomically writes t to path.
 func WriteTableFile(path string, t *relational.Table) error {
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteTable(w, t)
 	})
 }

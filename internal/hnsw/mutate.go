@@ -1,0 +1,21 @@
+package hnsw
+
+import "ejoin/internal/mat"
+
+// Add implements vindex.MutableIndex: each row of vecs is inserted in
+// order through the regular insert path, so ids continue sequentially
+// from Len(). Insert takes the index's write lock per vector and searches
+// take the read lock, so probes interleave with an in-progress batch
+// instead of blocking behind it; tombstoned rows are excluded at search
+// time by the caller's filter, never removed from the graph.
+func (ix *Index) Add(vecs *mat.Matrix) error {
+	if vecs == nil {
+		return nil
+	}
+	for i := 0; i < vecs.Rows(); i++ {
+		if _, err := ix.Insert(vecs.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

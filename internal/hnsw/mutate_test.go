@@ -1,0 +1,60 @@
+package hnsw
+
+import (
+	"testing"
+
+	"ejoin/internal/mat"
+	"ejoin/internal/relational"
+)
+
+// TestAddBatchSearchable: Add routes through the regular insert path, so a
+// just-appended batch is immediately findable, ids continue from Len(),
+// and tombstoned rows disappear behind the search-time filter.
+func TestAddBatchSearchable(t *testing.T) {
+	base := randomUnitVectors(41, 100, 16)
+	ix, err := Build(base, Config{M: 8, EfConstruction: 64, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := randomUnitVectors(42, 20, 16)
+	m := mat.New(20, 16)
+	for i, v := range added {
+		copy(m.Row(i), v)
+	}
+	if err := ix.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 120 {
+		t.Fatalf("len after add = %d, want 120", ix.Len())
+	}
+	for _, i := range []int{0, 10, 19} {
+		res, err := ix.Search(added[i], 1, SearchOptions{Ef: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != 100+i {
+			t.Fatalf("added vector %d: search returned %v", i, res)
+		}
+	}
+
+	// A tombstone filter excludes an added row without touching the graph.
+	live := relational.NewBitmap(120)
+	for i := 0; i < 120; i++ {
+		live.Set(i)
+	}
+	live.Clear(110)
+	res, err := ix.Search(added[10], 1, SearchOptions{Ef: 64, Filter: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 1 && res[0].ID == 110 {
+		t.Fatal("filtered-out row returned")
+	}
+
+	if err := ix.Add(nil); err != nil {
+		t.Fatalf("nil add: %v", err)
+	}
+	if err := ix.Add(mat.New(1, 4)); err == nil {
+		t.Fatal("dim-mismatched add accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"ejoin/internal/mat"
@@ -76,13 +77,17 @@ type Result struct {
 	Sim float32
 }
 
-// Index is a built IVF-Flat index over unit-norm vectors.
+// Index is a built IVF-Flat index over unit-norm vectors. Concurrent
+// searches are safe, including against concurrent Add/Recluster calls
+// (mutations take the write lock, probes the read lock).
 type Index struct {
 	cfg       Config
 	dim       int
 	centroids *mat.Matrix
 	lists     [][]int
 	vectors   *mat.Matrix
+
+	mu sync.RWMutex
 
 	distanceCalls atomic.Int64
 }
@@ -162,13 +167,21 @@ func kmeans(data *mat.Matrix, k, iters int, seed int64) (*mat.Matrix, []int) {
 }
 
 // Len returns the number of indexed vectors.
-func (ix *Index) Len() int { return ix.vectors.Rows() }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.vectors.Rows()
+}
 
 // Dim returns the vector dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
 // NLists returns the number of partitions.
-func (ix *Index) NLists() int { return len(ix.lists) }
+func (ix *Index) NLists() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.lists)
+}
 
 // DistanceCalls returns the comparisons performed by searches so far.
 func (ix *Index) DistanceCalls() int64 { return ix.distanceCalls.Load() }
@@ -193,15 +206,18 @@ func (ix *Index) Search(q []float32, k int, opts SearchOptions) ([]Result, error
 	if k <= 0 {
 		return nil, errors.New("ivf: k must be positive")
 	}
+	nq := vec.Clone(q)
+	vec.Normalize(nq)
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	nprobe := opts.NProbe
 	if nprobe <= 0 {
-		nprobe = ix.cfg.NProbe
+		nprobe = ix.cfg.NProbe // under the lock: a re-cluster may adjust it
 	}
 	if nprobe > len(ix.lists) {
 		nprobe = len(ix.lists)
 	}
-	nq := vec.Clone(q)
-	vec.Normalize(nq)
 
 	// Rank centroids by similarity; scan the nprobe best lists.
 	cands := make([]scoredList, len(ix.lists))

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ejoin/internal/mat"
@@ -36,6 +37,8 @@ type PQIndex struct {
 	lists     [][]int
 	codes     []byte // Len() × book.M(), indexed by vector id
 	book      *quant.Codebook
+
+	mu sync.RWMutex
 	// rerank, when attached, holds the exact unit-norm vectors the rerank
 	// pass reads. It aliases caller storage and is never serialized:
 	// re-attach after Load.
@@ -93,13 +96,21 @@ func BuildPQ(data *mat.Matrix, cfg Config, pqcfg quant.PQConfig) (*PQIndex, erro
 }
 
 // Len returns the number of indexed vectors.
-func (ix *PQIndex) Len() int { return len(ix.codes) / ix.book.M() }
+func (ix *PQIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.codes) / ix.book.M()
+}
 
 // Dim returns the vector dimensionality.
 func (ix *PQIndex) Dim() int { return ix.dim }
 
 // NLists returns the number of partitions.
-func (ix *PQIndex) NLists() int { return len(ix.lists) }
+func (ix *PQIndex) NLists() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.lists)
+}
 
 // Codebook exposes the trained product quantizer.
 func (ix *PQIndex) Codebook() *quant.Codebook { return ix.book }
@@ -123,8 +134,10 @@ func (ix *PQIndex) HasRerank() bool { return ix.rerank != nil }
 // index was built over, normalized). The matrix is referenced, not
 // copied, and is not part of snapshots — re-attach after Load.
 func (ix *PQIndex) AttachRerank(m *mat.Matrix) error {
-	if m.Rows() != ix.Len() {
-		return fmt.Errorf("ivf: rerank matrix has %d rows, index has %d vectors", m.Rows(), ix.Len())
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if n := len(ix.codes) / ix.book.M(); m.Rows() != n {
+		return fmt.Errorf("ivf: rerank matrix has %d rows, index has %d vectors", m.Rows(), n)
 	}
 	if m.Cols() != ix.dim {
 		return fmt.Errorf("ivf: rerank matrix dim %d, index dim %d", m.Cols(), ix.dim)
@@ -161,6 +174,8 @@ func (ix *PQIndex) Search(q []float32, k int, opts PQSearchOptions) ([]Result, e
 	if k <= 0 {
 		return nil, errors.New("ivf: k must be positive")
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	nprobe := opts.NProbe
 	if nprobe <= 0 {
 		nprobe = ix.cfg.NProbe

@@ -31,6 +31,8 @@ func (ix *Index) WriteSnapshot(w io.Writer) error { return ix.Save(w) }
 // Save writes the index. The index must not be mutated concurrently
 // (built IVF indexes are immutable, so any built index qualifies).
 func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(persistMagic[:]); err != nil {
 		return fmt.Errorf("ivf: writing header: %w", err)

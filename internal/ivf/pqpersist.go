@@ -30,6 +30,8 @@ func (ix *PQIndex) WriteSnapshot(w io.Writer) error { return ix.Save(w) }
 // Save writes the index. Built PQ indexes are immutable, so any built
 // index qualifies.
 func (ix *PQIndex) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(pqPersistMagic[:]); err != nil {
 		return fmt.Errorf("ivf: writing pq header: %w", err)

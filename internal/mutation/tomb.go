@@ -1,0 +1,127 @@
+package mutation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"ejoin/internal/durable"
+	"ejoin/internal/relational"
+)
+
+// Tombstone sidecar: the part of a checkpoint a plain table file cannot
+// carry. Checkpoints keep tombstoned rows physically in the table file —
+// compacting them would renumber row ids and invalidate the vector
+// indexes' id space — so the sidecar records which ids are dead, plus the
+// incarnation and generation the checkpoint covers. Format ("EJTOM001"):
+//
+//	magic | u64 incarnation | u64 gen | u64 count | count × u64 dead ids |
+//	u32 crc32c(everything after magic)
+//
+// Written atomically via durable.AtomicWriteFile; a corrupt sidecar fails
+// the table's recovery the same way a corrupt table file does.
+
+// tombMagic heads a tombstone sidecar file.
+var tombMagic = [8]byte{'E', 'J', 'T', 'O', 'M', '0', '0', '1'}
+
+// TombState is a decoded sidecar.
+type TombState struct {
+	Incarnation uint64
+	Gen         uint64
+	Dead        []uint64
+}
+
+// WriteTombFile atomically persists a tombstone sidecar at path.
+func WriteTombFile(path string, st TombState) error {
+	return durable.AtomicWriteFile(path, func(w io.Writer) error {
+		var body bytes.Buffer
+		var u64 [8]byte
+		for _, v := range []uint64{st.Incarnation, st.Gen, uint64(len(st.Dead))} {
+			binary.LittleEndian.PutUint64(u64[:], v)
+			body.Write(u64[:])
+		}
+		for _, id := range st.Dead {
+			binary.LittleEndian.PutUint64(u64[:], id)
+			body.Write(u64[:])
+		}
+		if _, err := w.Write(tombMagic[:]); err != nil {
+			return fmt.Errorf("mutation: writing tomb header: %w", err)
+		}
+		if _, err := w.Write(body.Bytes()); err != nil {
+			return fmt.Errorf("mutation: writing tomb body: %w", err)
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body.Bytes(), crcTable))
+		if _, err := w.Write(crc[:]); err != nil {
+			return fmt.Errorf("mutation: writing tomb crc: %w", err)
+		}
+		return nil
+	})
+}
+
+// ReadTombFile loads the sidecar at path. A missing file means the
+// checkpoint had no tombstones and no mutations (zero state), not an
+// error; a present-but-corrupt file is an error.
+func ReadTombFile(path string) (TombState, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return TombState{}, nil
+	}
+	if err != nil {
+		return TombState{}, fmt.Errorf("mutation: reading tomb sidecar: %w", err)
+	}
+	if len(data) < len(tombMagic)+24+4 || !bytes.Equal(data[:8], tombMagic[:]) {
+		return TombState{}, fmt.Errorf("mutation: %s is not a tombstone sidecar", path)
+	}
+	body, crcB := data[8:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(crcB) {
+		return TombState{}, fmt.Errorf("mutation: tomb sidecar %s fails checksum", path)
+	}
+	st := TombState{
+		Incarnation: binary.LittleEndian.Uint64(body[0:8]),
+		Gen:         binary.LittleEndian.Uint64(body[8:16]),
+	}
+	count := binary.LittleEndian.Uint64(body[16:24])
+	if uint64(len(body)-24) != count*8 {
+		return TombState{}, fmt.Errorf("mutation: tomb sidecar %s has %d ids, header says %d", path, (len(body)-24)/8, count)
+	}
+	st.Dead = make([]uint64, count)
+	for i := range st.Dead {
+		st.Dead[i] = binary.LittleEndian.Uint64(body[24+i*8:])
+	}
+	return st, nil
+}
+
+// DeadIDs lists a version's tombstoned row ids in ascending order.
+func DeadIDs(v *Version) []uint64 {
+	if v.Live == nil || v.Dead == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, v.Dead)
+	for r := 0; r < v.Table.NumRows(); r++ {
+		if !v.Live.Get(r) {
+			out = append(out, uint64(r))
+		}
+	}
+	return out
+}
+
+// LiveFromDead reconstructs a live bitmap over n rows from a sidecar's
+// dead id list. Ids at or beyond n (sidecar from a different table state)
+// are an error.
+func LiveFromDead(n int, dead []uint64) (*relational.Bitmap, error) {
+	live := relational.NewBitmap(n)
+	for r := 0; r < n; r++ {
+		live.Set(r)
+	}
+	for _, id := range dead {
+		if id >= uint64(n) {
+			return nil, fmt.Errorf("mutation: tombstone id %d beyond table rows %d", id, n)
+		}
+		live.Clear(int(id))
+	}
+	return live, nil
+}

@@ -97,19 +97,35 @@ func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) 
 func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*evaluatedInput, error) {
 	switch t := n.(type) {
 	case *Scan:
-		out := &evaluatedInput{ref: t.Ref, rows: relational.All(t.Ref.Table.NumRows())}
+		rows := relational.All(t.Ref.Table.NumRows())
+		if t.Ref.Visible != nil {
+			// MVCC visibility: the query pinned a generation snapshot and
+			// only its live rows exist for this scan; tombstoned rows are
+			// never compared, embedded, or matched.
+			rows = t.Ref.Visible
+		}
+		out := &evaluatedInput{ref: t.Ref, rows: rows}
 		if t.Ref.VectorColumn != "" {
 			vc, err := t.Ref.Table.Vectors(t.Ref.VectorColumn)
 			if err != nil {
 				return nil, err
 			}
-			m, err := mat.FromFlat(vc.Len(), vc.Dim, vc.Data)
-			if err != nil {
-				return nil, err
+			if t.Ref.Visible == nil {
+				m, err := mat.FromFlat(vc.Len(), vc.Dim, vc.Data)
+				if err != nil {
+					return nil, err
+				}
+				m = m.Clone() // never mutate stored columns
+				m.NormalizeRows()
+				out.embeddings = m
+			} else {
+				m := mat.New(len(rows), vc.Dim)
+				for i, r := range rows {
+					copy(m.Row(i), vc.Row(r))
+				}
+				m.NormalizeRows()
+				out.embeddings = m
 			}
-			m = m.Clone() // never mutate stored columns
-			m.NormalizeRows()
-			out.embeddings = m
 		}
 		return out, nil
 
@@ -311,7 +327,12 @@ func (ex *Executor) indexJoin(ctx context.Context, j *EJoin, left, right *evalua
 		}
 		return res, nil
 	}
-	if idx.Len() != right.ref.Table.NumRows() {
+	// The index must cover every physical row; it may cover MORE (under
+	// live mutation the index runs ahead of the generation snapshot a
+	// query pinned — rows appended after the snapshot are indexed but not
+	// visible). The RightFilter below masks both tombstones and
+	// beyond-snapshot entries, so a superset index stays correct.
+	if idx.Len() < right.ref.Table.NumRows() {
 		return nil, fmt.Errorf("plan: index over %q has %d entries, table has %d rows",
 			right.ref.Name, idx.Len(), right.ref.Table.NumRows())
 	}

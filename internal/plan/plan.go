@@ -74,6 +74,11 @@ type TableRef struct {
 	// Index is an optional vector index (HNSW or IVF-Flat) over this
 	// side's embeddings (only honored on the right input).
 	Index vindex.Index
+	// Visible, when non-nil, restricts the scan to these global row ids —
+	// the MVCC visibility set of the generation snapshot a query pinned
+	// (live rows; tombstoned rows are excluded). nil means every physical
+	// row is visible.
+	Visible relational.Selection
 }
 
 // Query is the declarative hybrid query: join Left with Right on semantic
@@ -103,6 +108,9 @@ func (s *Scan) Explain() string {
 	rows := 0
 	if s.Ref.Table != nil {
 		rows = s.Ref.Table.NumRows()
+	}
+	if s.Ref.Visible != nil {
+		return fmt.Sprintf("Scan(%s, rows=%d, visible=%d)", s.Ref.Name, rows, len(s.Ref.Visible))
 	}
 	return fmt.Sprintf("Scan(%s, rows=%d)", s.Ref.Name, rows)
 }

@@ -1,0 +1,67 @@
+package relational
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAppendRowsCopyOnWrite(t *testing.T) {
+	schema := Schema{{Name: "id", Type: Int64}, {Name: "name", Type: String}}
+	base, err := NewTable(schema, []Column{Int64Column{1, 2}, StringColumn{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewTable(schema, []Column{Int64Column{3}, StringColumn{"c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := AppendRows(base, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumRows() != 3 || base.NumRows() != 2 {
+		t.Fatalf("rows: grown=%d base=%d", grown.NumRows(), base.NumRows())
+	}
+	// MVCC contract: the base version reads its prefix untouched.
+	names, _ := base.Strings("name")
+	if !reflect.DeepEqual(names, StringColumn{"a", "b"}) {
+		t.Fatalf("base mutated: %v", names)
+	}
+	gnames, _ := grown.Strings("name")
+	if !reflect.DeepEqual(gnames, StringColumn{"a", "b", "c"}) {
+		t.Fatalf("grown: %v", gnames)
+	}
+}
+
+func TestAppendRowsSchemaMismatch(t *testing.T) {
+	a, _ := NewTable(Schema{{Name: "id", Type: Int64}}, []Column{Int64Column{1}})
+	b, _ := NewTable(Schema{{Name: "id", Type: String}}, []Column{StringColumn{"x"}})
+	if _, err := AppendRows(a, b); err == nil {
+		t.Fatal("type-mismatched append accepted")
+	}
+	c, _ := NewTable(Schema{{Name: "other", Type: Int64}}, []Column{Int64Column{1}})
+	if _, err := AppendRows(a, c); err == nil {
+		t.Fatal("name-mismatched append accepted")
+	}
+}
+
+func TestAppendRowsVectors(t *testing.T) {
+	schema := Schema{{Name: "vec", Type: Vector}}
+	a, err := NewTable(schema, []Column{&VectorColumn{Dim: 2, Data: []float32{1, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewTable(schema, []Column{&VectorColumn{Dim: 2, Data: []float32{0, 1}}})
+	grown, err := AppendRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, _ := grown.Vectors("vec")
+	if vc.Len() != 2 || vc.Data[2] != 0 || vc.Data[3] != 1 {
+		t.Fatalf("vector append: %+v", vc)
+	}
+	bad, _ := NewTable(schema, []Column{&VectorColumn{Dim: 3, Data: []float32{0, 0, 1}}})
+	if _, err := AppendRows(a, bad); err == nil {
+		t.Fatal("dim-mismatched vector append accepted")
+	}
+}

@@ -66,6 +66,24 @@ func (b *Bitmap) ToSelection() Selection {
 	return sel
 }
 
+// Clone returns an independent copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	return &Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// GrowClone returns an independent copy of b over a domain of n rows
+// (n >= b.Len()); the new rows start unset. The MVCC layer uses this to
+// derive a batch's visibility set from its predecessor without touching
+// the published version.
+func (b *Bitmap) GrowClone(n int) *Bitmap {
+	if n < b.n {
+		n = b.n
+	}
+	out := &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+	copy(out.words, b.words)
+	return out
+}
+
 // And intersects in place with other (domains must match) and returns b.
 func (b *Bitmap) And(other *Bitmap) *Bitmap {
 	for i := range b.words {

@@ -9,11 +9,13 @@ package service
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"ejoin/internal/durable"
+	"ejoin/internal/mutation"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 )
@@ -61,15 +63,46 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	kept := d.manifest.Tables[:0]
-	for _, entry := range d.manifest.Tables {
-		t, err := durable.ReadTableFile(d.layout.TablePath(entry.Name))
+	for i := range d.manifest.Tables {
+		entry := &d.manifest.Tables[i]
+		path := d.layout.TablePath(entry.Name)
+		if entry.File != "" {
+			path = d.layout.Resolve(entry.File)
+		}
+		t, err := durable.ReadTableFile(path)
 		if err != nil {
 			// A missing or corrupt table file must not block startup or
 			// serve bad rows: drop the entry, keep the warning.
 			d.warnings = append(d.warnings, fmt.Sprintf("table %q not recovered: %v", entry.Name, err))
 			continue
 		}
+		// Mutation state: incarnation (assigned now for pre-mutation
+		// manifests), checkpoint generation, and tombstones from the
+		// sidecar the manifest committed. A corrupt or inconsistent
+		// sidecar fails the table like a corrupt table file would —
+		// serving rows the checkpoint had deleted is serving bad rows.
+		inc := entry.Incarnation
+		if inc == 0 {
+			inc = newIncarnation()
+			entry.Incarnation = inc
+		}
+		var live *relational.Bitmap
+		if entry.TombFile != "" {
+			tomb, terr := mutation.ReadTombFile(d.layout.Resolve(entry.TombFile))
+			if terr == nil && (tomb.Incarnation != inc || tomb.Gen != entry.RowGen) {
+				terr = fmt.Errorf("sidecar %s does not match manifest (inc %d/%d gen %d/%d)",
+					entry.TombFile, tomb.Incarnation, inc, tomb.Gen, entry.RowGen)
+			}
+			if terr == nil {
+				live, terr = mutation.LiveFromDead(t.NumRows(), tomb.Dead)
+			}
+			if terr != nil {
+				d.warnings = append(d.warnings, fmt.Sprintf("table %q not recovered: %v", entry.Name, terr))
+				continue
+			}
+		}
 		e.catalog.Register(entry.Name, t)
+		e.mut.install(entry.Name, &tableState{mt: mutation.NewTable(entry.Name, inc, t, live, entry.RowGen)})
 		// Restore the table's precision knob with the table; an invalid
 		// value degrades to exact, never to an error.
 		if p, err := quant.ParsePrecision(entry.Precision); err != nil {
@@ -79,7 +112,7 @@ func Open(cfg Config) (*Engine, error) {
 		} else {
 			e.tablePrec.set(entry.Name, p)
 		}
-		kept = append(kept, entry)
+		kept = append(kept, *entry)
 		d.loadedTables++
 	}
 	if len(kept) != len(d.manifest.Tables) {
@@ -89,6 +122,48 @@ func Open(cfg Config) (*Engine, error) {
 		}
 	}
 	e.plans.purgeStale(e.catalog.Generation())
+	d.sweepCheckpoints()
+
+	// Mutation WAL: replay the records newer than each table's last
+	// checkpoint (older ones are already folded into the table files; the
+	// per-record incarnation drops strays from dropped tables), then keep
+	// the log open for appends. Replay costs zero model calls — upsert
+	// batches carry their vectors.
+	wal, err := mutation.OpenWAL(d.layout.WalPath(), func(rec mutation.Record) error {
+		ts := e.mut.get(rec.Table)
+		if ts == nil {
+			e.mut.replaySkipped.Add(1)
+			return nil
+		}
+		applied, aerr := ts.mt.Apply(rec, mutation.Hooks{})
+		if aerr != nil {
+			// An intact record that cannot apply (e.g. schema drift without
+			// an incarnation change) is a consistency bug upstream; keep
+			// booting on the state we have rather than refusing to start.
+			d.warnings = append(d.warnings, fmt.Sprintf("wal record for %q (gen %d) skipped: %v", rec.Table, rec.Gen, aerr))
+			e.mut.replaySkipped.Add(1)
+			return nil
+		}
+		if !applied {
+			e.mut.replaySkipped.Add(1)
+			return nil
+		}
+		e.mut.replayed.Add(1)
+		e.catalog.Replace(rec.Table, ts.mt.Current().Table)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mut.wal = wal
+	// Indexes build after replay, over each table's final physical rows.
+	if cfg.IndexTables {
+		e.mut.tables.Range(func(_, v any) bool {
+			ts := v.(*tableState)
+			e.attachIndex(ts, ts.mt.Current().Table)
+			return true
+		})
+	}
 
 	// Embedding log: replay into the store via Put (no model calls, no
 	// persist hook), then attach the write-behind persister.
@@ -103,6 +178,41 @@ func Open(cfg Config) (*Engine, error) {
 
 	e.durable = d
 	return e, nil
+}
+
+// sweepCheckpoints removes generation-suffixed checkpoint files the
+// manifest no longer (or never committed to) reference: superseded
+// checkpoints whose delete was interrupted, and staged files from a crash
+// before the manifest commit. Registration-time files never match the
+// checkpoint pattern and are untouched. Caller runs this at open, after
+// manifest recovery, before serving.
+func (d *durableState) sweepCheckpoints() {
+	referenced := make(map[string]bool)
+	d.mu.Lock()
+	for _, entry := range d.manifest.Tables {
+		if entry.File != "" {
+			referenced[filepath.Base(entry.File)] = true
+		}
+		if entry.TombFile != "" {
+			referenced[filepath.Base(entry.TombFile)] = true
+		}
+	}
+	d.mu.Unlock()
+	names, err := os.ReadDir(d.layout.TableDir())
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, de := range names {
+		base := de.Name()
+		if durable.IsCheckpointFile(base) && !referenced[base] {
+			_ = os.Remove(filepath.Join(d.layout.TableDir(), base))
+			removed = true
+		}
+	}
+	if removed {
+		durable.SyncDir(d.layout.TableDir())
+	}
 }
 
 // DataDir is the engine's data directory ("" when memory-only).
@@ -123,12 +233,24 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.store.SetOnInsert(nil)
+	e.WaitForMaintenance()
 	var firstErr error
 	if err := d.persister.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := d.log.Close(); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	// Detach the WAL under the exclusive mutation lock so no append races
+	// the close; Close stays idempotent.
+	e.mut.mu.Lock()
+	wal := e.mut.wal
+	e.mut.wal = nil
+	e.mut.mu.Unlock()
+	if wal != nil {
+		if err := wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
@@ -143,6 +265,11 @@ type SnapshotInfo struct {
 	LogBytes int64 `json:"log_bytes"`
 	// Tables is the number of tables in the manifest.
 	Tables int `json:"tables"`
+	// Checkpointed is how many mutated tables were folded into fresh
+	// durable files (their WAL records then truncate away).
+	Checkpointed int `json:"checkpointed"`
+	// WalBytes is the mutation WAL size after truncation.
+	WalBytes int64 `json:"wal_bytes"`
 	// Elapsed is wall time spent snapshotting.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -179,6 +306,77 @@ func (e *Engine) Snapshot() (SnapshotInfo, error) {
 	}
 	info.SegmentsRemoved = removed
 
+	// Checkpoint mutated tables. The exclusive mutation lock blocks
+	// upserts/deletes across fold + manifest commit + WAL truncate: a
+	// record appended inside that window would be folded nowhere and then
+	// truncated away. Queries are unaffected — they read pinned versions.
+	e.mut.mu.Lock()
+	defer e.mut.mu.Unlock()
+	type folded struct {
+		ts       *tableState
+		gen      uint64
+		oldFiles []string
+	}
+	var folds []folded
+	var foldErr error
+	e.mut.tables.Range(func(k, v any) bool {
+		ts := v.(*tableState)
+		cur := ts.mt.Current()
+		if cur.Gen <= ts.mt.CheckpointGen() {
+			return true // unchanged since last checkpoint
+		}
+		name := k.(string)
+		// Stage the full physical table (tombstoned rows kept: compacting
+		// would renumber the row ids the indexes and WAL replay depend on)
+		// plus the sidecar, under generation-suffixed names.
+		fileRel := d.layout.CheckpointTableRel(name, cur.Gen)
+		if err := durable.WriteTableFile(d.layout.Resolve(fileRel), cur.Table); err != nil {
+			foldErr = fmt.Errorf("%w: checkpoint table %q: %v", ErrPersist, name, err)
+			return false
+		}
+		tombRel := ""
+		if cur.Dead > 0 {
+			tombRel = d.layout.CheckpointTombRel(name, cur.Gen)
+			st := mutation.TombState{Incarnation: ts.mt.Incarnation, Gen: cur.Gen, Dead: mutation.DeadIDs(cur)}
+			if err := mutation.WriteTombFile(d.layout.Resolve(tombRel), st); err != nil {
+				foldErr = fmt.Errorf("%w: checkpoint sidecar %q: %v", ErrPersist, name, err)
+				return false
+			}
+		}
+		d.mu.Lock()
+		var old []string
+		for _, entry := range d.manifest.Tables {
+			if entry.Name == name {
+				if entry.File != "" && entry.File != fileRel {
+					old = append(old, entry.File)
+				}
+				if entry.TombFile != "" && entry.TombFile != tombRel {
+					old = append(old, entry.TombFile)
+				}
+			}
+		}
+		d.manifest.Upsert(durable.TableEntry{
+			Name:        name,
+			File:        fileRel,
+			TombFile:    tombRel,
+			Rows:        cur.Table.NumRows(),
+			Cols:        cur.Table.NumCols(),
+			Precision:   manifestPrecision(e.tablePrec.get(name)),
+			Incarnation: ts.mt.Incarnation,
+			RowGen:      cur.Gen,
+		})
+		d.mu.Unlock()
+		folds = append(folds, folded{ts: ts, gen: cur.Gen, oldFiles: old})
+		return true
+	})
+	if foldErr != nil {
+		return SnapshotInfo{}, foldErr
+	}
+
+	// The manifest write is the commit point: File/TombFile/RowGen flip
+	// together, so a crash on either side of it recovers consistently
+	// (before: old files + full WAL replay; after: new files + records at
+	// or below RowGen skipped).
 	d.mu.Lock()
 	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
 		d.mu.Unlock()
@@ -187,6 +385,27 @@ func (e *Engine) Snapshot() (SnapshotInfo, error) {
 	info.Tables = len(d.manifest.Tables)
 	d.snapshots++
 	d.mu.Unlock()
+
+	// Committed: advance checkpoint generations, truncate the WAL, and
+	// best-effort remove superseded checkpoint files (a crash here leaves
+	// orphans for the open-time sweep).
+	for _, f := range folds {
+		f.ts.mt.SetCheckpointGen(f.gen)
+		for _, rel := range f.oldFiles {
+			_ = os.Remove(d.layout.Resolve(rel))
+		}
+	}
+	if len(folds) > 0 {
+		durable.SyncDir(d.layout.TableDir())
+	}
+	info.Checkpointed = len(folds)
+	if e.mut.wal != nil {
+		if err := e.mut.wal.Reset(); err != nil {
+			return SnapshotInfo{}, err
+		}
+		e.mut.checkpoints.Add(1)
+		info.WalBytes = e.mut.wal.Stats().SizeBytes
+	}
 
 	info.LogBytes = d.log.Stats().Bytes
 	info.Elapsed = time.Since(start)
@@ -205,17 +424,45 @@ func (e *Engine) persistTable(name string, t *relational.Table) error {
 	if err := durable.WriteTableFile(path, t); err != nil {
 		return fmt.Errorf("%w: table %q: %v", ErrPersist, name, err)
 	}
+	// The fresh registration's incarnation rides in the entry, so WAL
+	// records logged from here on replay only into this table, and a
+	// predecessor's records never do.
+	var inc uint64
+	if ts := e.mut.get(name); ts != nil {
+		inc = ts.mt.Incarnation
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	var stale []string
+	for _, entry := range d.manifest.Tables {
+		if entry.Name == name {
+			if entry.File != "" && entry.File != d.layout.TableFileRel(name) {
+				stale = append(stale, entry.File)
+			}
+			if entry.TombFile != "" {
+				stale = append(stale, entry.TombFile)
+			}
+		}
+	}
 	d.manifest.Upsert(durable.TableEntry{
-		Name:      name,
-		File:      d.layout.TableFileRel(name),
-		Rows:      t.NumRows(),
-		Cols:      t.NumCols(),
-		Precision: manifestPrecision(e.tablePrec.get(name)),
+		Name:        name,
+		File:        d.layout.TableFileRel(name),
+		Rows:        t.NumRows(),
+		Cols:        t.NumCols(),
+		Precision:   manifestPrecision(e.tablePrec.get(name)),
+		Incarnation: inc,
 	})
 	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: manifest: %v", ErrPersist, err)
+	}
+	d.mu.Unlock()
+	// A replaced table's checkpoint files are dead weight now; remove the
+	// ones the old entry referenced (sweep catches any we miss).
+	for _, rel := range stale {
+		_ = os.Remove(d.layout.Resolve(rel))
+	}
+	if len(stale) > 0 {
+		durable.SyncDir(d.layout.TableDir())
 	}
 	return nil
 }
@@ -262,12 +509,29 @@ func (e *Engine) unpersistTable(name string) {
 		return
 	}
 	name = strings.ToLower(name)
+	var files []string
 	d.mu.Lock()
+	for _, entry := range d.manifest.Tables {
+		if entry.Name == name {
+			if entry.File != "" {
+				files = append(files, d.layout.Resolve(entry.File))
+			}
+			if entry.TombFile != "" {
+				files = append(files, d.layout.Resolve(entry.TombFile))
+			}
+		}
+	}
 	if d.manifest.Remove(name) {
 		_ = d.manifest.Write(d.layout.ManifestPath())
 	}
 	d.mu.Unlock()
-	_ = os.Remove(d.layout.TablePath(name))
+	files = append(files, d.layout.TablePath(name), d.layout.TombPath(name))
+	for _, f := range files {
+		_ = os.Remove(f)
+	}
+	// Sync the directory so the removes survive a crash — otherwise a
+	// recreated same-name table could resurrect the old files' contents.
+	durable.SyncDir(d.layout.TableDir())
 }
 
 // DurableStats is the persistence arm's observability surface.

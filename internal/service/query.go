@@ -132,6 +132,11 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	if err != nil {
 		return nil, badRequest(err)
 	}
+	// Pin each side to its current MVCC version before planning: table,
+	// visibility set, and (when maintained) index are read once here, so
+	// the query sees one generation snapshot end to end regardless of
+	// concurrent upserts/deletes.
+	e.pinVersions(&q)
 	// Plan validation rejects malformed conditions (threshold outside
 	// [-1,1], k<=0) — the request's fault, unlike execution failures.
 	naive, err := plan.NewNaivePlan(q)

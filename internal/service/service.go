@@ -103,6 +103,16 @@ type Config struct {
 	SegmentBytes int64
 	// PersistQueue is the write-behind queue depth (default 4096).
 	PersistQueue int
+	// IndexTables maintains an IVF-Flat vector index per table with a
+	// vector column: inserts append to posting lists, deletes tombstone,
+	// and the coarse quantizer re-clusters in the background past
+	// ReclusterFraction. Off by default — an attached index makes the
+	// planner eligible to pick the approximate index access path.
+	IndexTables bool
+	// ReclusterFraction is the deleted fraction of a table's rows that
+	// triggers a background index re-cluster (default 0.3; negative
+	// disables re-clustering).
+	ReclusterFraction float64
 }
 
 // TableInfo describes one catalog entry.
@@ -131,6 +141,10 @@ type Engine struct {
 	// durable is non-nil for engines built with Open over a data
 	// directory; nil engines are memory-only.
 	durable *durableState
+
+	// mut is the live-mutation arm (see mutation.go): per-table MVCC
+	// state, optional maintained indexes, and (durable engines) the WAL.
+	mut mutationState
 
 	// tablePrec is the per-table precision knob (see precision.go).
 	tablePrec tablePrecisions
@@ -257,6 +271,7 @@ func (e *Engine) RegisterTable(name string, t *relational.Table) error {
 // precision knob together, so one durable manifest write carries both.
 func (e *Engine) registerTableWithPrecision(name string, t *relational.Table, prec quant.Precision) error {
 	e.catalog.Register(name, t)
+	e.installMutable(name, t)   // fresh incarnation: replaces any old MVCC state
 	e.tablePrec.set(name, prec) // Auto clears any previous knob
 	// Eagerly drop bindings taken under older generations: lazy get-time
 	// invalidation only fires when the same text is re-queried, which
@@ -306,6 +321,7 @@ func (e *Engine) RegisterCSVWithPrecision(name string, schema relational.Schema,
 		// Lost a create-create race after the cheap pre-check.
 		err = fmt.Errorf("%w: %q (pass replace to overwrite)", ErrTableExists, name)
 	} else {
+		e.installMutable(name, t)
 		e.tablePrec.set(name, prec)
 		e.plans.purgeStale(e.catalog.Generation())
 		err = e.persistTable(name, t)
@@ -323,6 +339,11 @@ func (e *Engine) DropTable(name string) bool {
 	if ok {
 		e.plans.purgeStale(e.catalog.Generation())
 		e.tablePrec.drop(name)
+		// Purge MVCC state with the table: generations, key maps, index,
+		// and tombstones must not leak into a recreated same-name table
+		// (which gets a fresh incarnation, so the old one's WAL records
+		// cannot replay into it either).
+		e.mut.remove(name)
 		e.unpersistTable(name)
 	}
 	return ok

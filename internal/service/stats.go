@@ -107,6 +107,9 @@ type ServerStats struct {
 	// Durable describes the persistence layer; nil for memory-only
 	// engines.
 	Durable *DurableStats `json:"durable,omitempty"`
+	// Mutation describes the live-update arm: WAL, applied batches,
+	// tombstones, replay, and index re-clustering.
+	Mutation *MutationStats `json:"mutation,omitempty"`
 }
 
 // Stats snapshots the engine's statistics.
@@ -130,6 +133,7 @@ func (e *Engine) Stats() ServerStats {
 		Store:                  e.store.Stats(),
 		StoreModels:            e.store.ModelEntries(),
 		Durable:                e.durableStats(),
+		Mutation:               e.mutationStats(),
 	}
 	st.Quant.TablePrecisions = e.tablePrec.snapshot()
 	st.Quant.PrecisionSlack = e.cfg.PrecisionSlack

@@ -52,6 +52,24 @@ func (c *Catalog) RegisterIfAbsent(name string, t *relational.Table) bool {
 	return true
 }
 
+// Replace swaps the binding of an existing name to a new table WITHOUT
+// advancing the catalog generation, reporting whether the name existed.
+// This is the row-level (MVCC) update path: the table's identity and
+// schema are unchanged, only its row content moved to a newer generation,
+// so prepared plans bound against the name remain valid — the service
+// re-pins each query to the table's current version at execution time.
+// Schema changes must go through Register/Drop, which do invalidate.
+func (c *Catalog) Replace(name string, t *relational.Table) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := strings.ToLower(name)
+	if _, ok := c.tables[k]; !ok {
+		return false
+	}
+	c.tables[k] = t
+	return true
+}
+
 // Drop removes a named table, reporting whether it existed. Dropping
 // advances the catalog generation, invalidating prepared queries bound
 // against the old contents.

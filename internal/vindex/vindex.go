@@ -8,6 +8,7 @@ package vindex
 import (
 	"io"
 
+	"ejoin/internal/mat"
 	"ejoin/internal/relational"
 )
 
@@ -33,6 +34,21 @@ type Index interface {
 	// indexes, nprobe for inverted files); <=0 uses the index default.
 	// filter applies the index's pre-filtering semantics.
 	TopK(q []float32, k, beam int, filter *relational.Bitmap) ([]Hit, error)
+}
+
+// MutableIndex is an Index that accepts incremental inserts: the live
+// mutation subsystem appends each upsert batch's vectors instead of
+// rebuilding (construction dominates index cost — Table I's "Build"
+// column — so a serving index must absorb writes in place). Ids are
+// assigned sequentially from Len(), matching the physical row ids of the
+// table the index covers. Deletes are not structural: tombstoned rows are
+// masked by the search-time filter, and an inverted-file index compacts
+// them away when its deleted fraction triggers a re-cluster.
+type MutableIndex interface {
+	Index
+	// Add appends vecs' rows (normalized copies) with ids Len()..Len()+n-1.
+	// Safe to call concurrently with TopK.
+	Add(vecs *mat.Matrix) error
 }
 
 // Snapshotter is the optional durability contract: an index that can

@@ -39,6 +39,12 @@ type (
 	SnapshotInfo = service.SnapshotInfo
 	// DurableStats describes a durable engine's persistence layer.
 	DurableStats = service.DurableStats
+	// MutationResult reports one applied upsert or delete batch
+	// (Engine.UpsertRows / Engine.DeleteRows).
+	MutationResult = service.MutationResult
+	// MutationStats describes the live-update arm: WAL, applied batches,
+	// tombstones, replay, and index re-clustering.
+	MutationStats = service.MutationStats
 )
 
 // ErrTableExists reports a create-mode CSV ingest against an existing
