@@ -22,6 +22,7 @@ import (
 	"ejoin/internal/core"
 	"ejoin/internal/embstore"
 	"ejoin/internal/model"
+	"ejoin/internal/obs"
 	"ejoin/internal/vec"
 )
 
@@ -41,10 +42,11 @@ func main() {
 		dim       = flag.Int("dim", 100, "embedding dimensionality")
 		limit     = flag.Int("limit", 50, "max matches to print (0 = all)")
 		stats     = flag.Bool("stats", false, "print embedding-store statistics after the join")
+		trace     = flag.Bool("trace", false, "print a span timeline (embed and join phases with durations) to stderr")
 	)
 	flag.Parse()
 
-	if err := run(*leftPath, *rightPath, *leftCol, *rightCol, float32(*threshold), *topk, *dim, *limit); err != nil {
+	if err := run(*leftPath, *rightPath, *leftCol, *rightCol, float32(*threshold), *topk, *dim, *limit, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "ejcli:", err)
 		os.Exit(1)
 	}
@@ -55,7 +57,7 @@ func main() {
 	}
 }
 
-func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk, dim, limit int) error {
+func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk, dim, limit int, trace bool) error {
 	if leftPath == "" || rightPath == "" {
 		return fmt.Errorf("both -left and -right are required")
 	}
@@ -73,16 +75,25 @@ func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk,
 		return err
 	}
 	ctx := context.Background()
-	lm, _, err := store.EmbedAll(ctx, m, leftVals, embstore.BatchOptions{})
+	var tr *obs.Trace // nil without -trace; every recording call is nil-safe
+	if trace {
+		tr = obs.NewTrace("", fmt.Sprintf("%s ~ %s", leftPath, rightPath))
+	}
+	sp := tr.StartSpan("embed")
+	lm, lbs, err := store.EmbedAll(ctx, m, leftVals, embstore.BatchOptions{})
 	if err != nil {
 		return err
 	}
-	rm, _, err := store.EmbedAll(ctx, m, rightVals, embstore.BatchOptions{})
+	rm, rbs, err := store.EmbedAll(ctx, m, rightVals, embstore.BatchOptions{})
 	if err != nil {
 		return err
 	}
+	sp.Attr("hits", lbs.Hits+rbs.Hits).
+		Attr("misses", lbs.Misses+rbs.Misses).
+		Attr("model_calls", lbs.ModelCalls+rbs.ModelCalls).End()
 
 	opts := core.Options{Kernel: vec.DefaultKernel()}
+	sp = tr.StartSpan("join:tensor")
 	var res *core.Result
 	if topk > 0 {
 		res, err = core.TensorTopK(ctx, lm, rm, topk, opts)
@@ -91,6 +102,19 @@ func run(leftPath, rightPath, leftCol, rightCol string, threshold float32, topk,
 	}
 	if err != nil {
 		return err
+	}
+	sp.Attr("comparisons", res.Stats.Comparisons).
+		Attr("matches", int64(len(res.Matches))).End()
+	if trace {
+		snap := tr.Finish("TensorJoin", "", nil, nil)
+		fmt.Fprintf(os.Stderr, "-- trace %s (%s)\n", snap.ID, snap.Elapsed)
+		for _, s := range snap.Spans {
+			line := fmt.Sprintf("-- span %-12s start=%-10s dur=%s", s.Name, s.Start, s.Dur)
+			if detail := obs.AttrsDetail(s.Attrs); detail != "" {
+				line += "  " + detail
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 
 	fmt.Printf("%d matches (|L|=%d, |R|=%d, %d comparisons)\n",

@@ -58,25 +58,25 @@ func TestReadColumnErrors(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	left := writeCSV(t, "l.csv", "name\nbarbecue\ndatabase\n")
 	right := writeCSV(t, "r.csv", "title\nbarbecues\ngiraffe\n")
-	if err := run(left, right, "name", "title", 0.6, 0, 64, 10); err != nil {
+	if err := run(left, right, "name", "title", 0.6, 0, 64, 10, true); err != nil {
 		t.Fatal(err)
 	}
 	// Top-k mode.
-	if err := run(left, right, "name", "title", 0, 1, 64, 10); err != nil {
+	if err := run(left, right, "name", "title", 0, 1, 64, 10, false); err != nil {
 		t.Fatal(err)
 	}
 	// Missing inputs.
-	if err := run("", right, "", "", 0.5, 0, 64, 0); err == nil {
+	if err := run("", right, "", "", 0.5, 0, 64, 0, false); err == nil {
 		t.Error("expected error for missing left")
 	}
-	if !strings.Contains(run(left, right, "zzz", "title", 0.5, 0, 64, 0).Error(), "left") {
+	if !strings.Contains(run(left, right, "zzz", "title", 0.5, 0, 64, 0, false).Error(), "left") {
 		t.Error("expected left column error")
 	}
-	if err := run(left, right, "name", "zzz", 0.5, 0, 64, 0); err == nil {
+	if err := run(left, right, "name", "zzz", 0.5, 0, 64, 0, false); err == nil {
 		t.Error("expected right column error")
 	}
 	// Invalid dimension propagates from the model constructor.
-	if err := run(left, right, "name", "title", 0.5, 0, 0, 0); err == nil {
+	if err := run(left, right, "name", "title", 0.5, 0, 0, 0, false); err == nil {
 		t.Error("expected dim error")
 	}
 }

@@ -12,7 +12,8 @@
 //	  "sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.6"}'
 //	curl -s localhost:8080/stats
 //
-// Endpoints: POST /query (sqlish text or structured join spec), POST
+// Endpoints: POST /query (sqlish text or structured join spec; "explain":
+// true returns the EXPLAIN ANALYZE plan tree and span trace), POST
 // /tables (CSV ingest; duplicate names are 409 unless replace is set; a
 // "precision" field declares the table's join precision), GET /tables,
 // DELETE /tables/{name}, POST /tables/{name}/rows (row-level upsert by
@@ -20,9 +21,14 @@
 // /tables/{name}/rows (tombstone rows by key), PUT /tables/{name}/precision (set the per-table
 // precision knob: auto, f32, f16, or int8 — the coarser of two joined
 // tables' knobs governs their threshold scans), POST /snapshot (flush +
-// compact durable state), GET /stats (includes quantization stats),
-// GET /healthz. SIGINT/SIGTERM drain in-flight queries, then flush
-// durable state, before exit.
+// compact durable state), GET /stats (includes quantization, mutation,
+// and tracing stats), GET /metrics (Prometheus text exposition), GET
+// /debug/queries (slow-query log: recent + worst traces), GET /debug/pprof/*
+// (with -debug-pprof), GET /healthz (liveness), GET /readyz (readiness:
+// 503 until WAL replay and warm-start complete). Every request carries an
+// X-Request-ID (client-supplied or generated), echoed in the response
+// header and error bodies and used as the query's trace id. SIGINT/SIGTERM
+// drain in-flight queries, then flush durable state, before exit.
 //
 // With -data-dir the process is durable: ingested tables and every
 // computed embedding persist, so killing the server and rebooting it on
@@ -63,10 +69,14 @@ func main() {
 		precisionSlack = flag.Float64("precision-slack", 0, "result drift tolerated at threshold-join boundaries; > 0 lets the planner pick f16/int8 scans (0 = exact plans)")
 		indexTables    = flag.Bool("index-tables", false, "maintain an IVF vector index per table with a vector column (inserts append; churn re-clusters)")
 		reclusterFrac  = flag.Float64("recluster-fraction", 0, "deleted fraction of a table that triggers a background index re-cluster (0 = default 0.3, negative = never)")
+		slowThreshold  = flag.Duration("slow-query-threshold", 0, "minimum elapsed time for a trace to enter the slow-query ring (0 = record every query; the worst-N set is kept regardless)")
+		slowLogSize    = flag.Int("slow-log-size", 0, "slow-query ring capacity (0 = default 128)")
+		disableTracing = flag.Bool("disable-tracing", false, "skip per-query traces (explain requests still trace; histograms and counters stay on)")
+		debugPprof     = flag.Bool("debug-pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	engine, err := service.Open(service.Config{
+	cfg := service.Config{
 		Dim:            *dim,
 		StoreBytes:     *storeBytes,
 		MaxConcurrent:  *maxConcurrent,
@@ -81,26 +91,14 @@ func main() {
 
 		IndexTables:       *indexTables,
 		ReclusterFraction: *reclusterFrac,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ejserve:", err)
-		os.Exit(1)
-	}
-	if *dataDir != "" {
-		st := engine.Stats()
-		if d := st.Durable; d != nil {
-			log.Printf("ejserve: durable: %d tables, %d cached embeddings recovered from %s", d.LoadedTables, d.LoadedEntries, *dataDir)
-			for _, warn := range d.Warnings {
-				log.Printf("ejserve: durable: recovery: %s", warn)
-			}
-		}
-		if m := st.Mutation; m != nil && m.WAL != nil {
-			log.Printf("ejserve: mutation: wal replayed %d records (%d skipped, %d torn bytes truncated)",
-				m.ReplayedRecords, m.SkippedRecords, m.WAL.TruncatedBytes)
-		}
+
+		DisableTracing:     *disableTracing,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogSize:        *slowLogSize,
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(engine)}
+	srv := newServer(*debugPprof)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,13 +106,62 @@ func main() {
 	done := make(chan error, 1)
 	go func() {
 		log.Printf("ejserve: listening on %s", *addr)
-		done <- srv.ListenAndServe()
+		done <- httpSrv.ListenAndServe()
 	}()
+
+	// The engine opens in the background so the listener answers /healthz
+	// and /readyz during WAL replay and warm-start; /readyz flips to 200
+	// when the engine is published.
+	boot := make(chan error, 1)
+	go func() {
+		engine, err := service.Open(cfg)
+		if err != nil {
+			srv.failBoot(err)
+			boot <- err
+			return
+		}
+		if *dataDir != "" {
+			st := engine.Stats()
+			if d := st.Durable; d != nil {
+				log.Printf("ejserve: durable: %d tables, %d cached embeddings recovered from %s", d.LoadedTables, d.LoadedEntries, *dataDir)
+				for _, warn := range d.Warnings {
+					log.Printf("ejserve: durable: recovery: %s", warn)
+				}
+			}
+			if m := st.Mutation; m != nil && m.WAL != nil {
+				log.Printf("ejserve: mutation: wal replayed %d records (%d skipped, %d torn bytes truncated)",
+					m.ReplayedRecords, m.SkippedRecords, m.WAL.TruncatedBytes)
+			}
+		}
+		srv.publish(engine)
+		log.Printf("ejserve: ready")
+		boot <- nil
+	}()
+
+	select {
+	case err := <-boot:
+		if err != nil {
+			httpSrv.Close()
+			fmt.Fprintln(os.Stderr, "ejserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Killed during boot: stop listening, let Open finish, release
+		// whatever it recovered.
+		httpSrv.Close()
+		if err := <-boot; err == nil {
+			srv.eng().Close()
+		}
+		return
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "ejserve:", err)
+		os.Exit(1)
+	}
 
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			engine.Close()
+			srv.eng().Close()
 			fmt.Fprintln(os.Stderr, "ejserve:", err)
 			os.Exit(1)
 		}
@@ -122,14 +169,14 @@ func main() {
 		log.Printf("ejserve: shutting down, draining for up to %v", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("ejserve: drain incomplete: %v", err)
 		}
 	}
 	// After drain: flush the write-behind queue and close the log, so the
 	// next boot on this data directory recovers everything this process
 	// embedded.
-	if err := engine.Close(); err != nil {
+	if err := srv.eng().Close(); err != nil {
 		log.Printf("ejserve: closing durable state: %v", err)
 	}
 }

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ejoin/internal/obs"
+	"ejoin/internal/service"
+)
+
+func TestReadyzGatesUntilPublish(t *testing.T) {
+	s := newServer(false)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Liveness answers before the engine exists; readiness and the data
+	// plane do not.
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz during boot = %d", status)
+	}
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz during boot = %d %s", status, body)
+	}
+	if status, _ := get("/stats"); status != http.StatusServiceUnavailable {
+		t.Fatalf("stats during boot = %d", status)
+	}
+
+	engine, err := service.NewEngine(service.Config{Dim: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.publish(engine)
+	if status, body := get("/readyz"); status != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz after publish = %d %s", status, body)
+	}
+	if status, _ := get("/stats"); status != http.StatusOK {
+		t.Fatalf("stats after publish = %d", status)
+	}
+}
+
+func TestReadyzReportsBootFailure(t *testing.T) {
+	s := newServer(false)
+	s.failBoot(io.ErrUnexpectedEOF)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "failed to start") {
+		t.Fatalf("readyz after boot failure = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+
+	// Client-supplied id: echoed in the header and in the query response.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		strings.NewReader(`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`))
+	req.Header.Set("X-Request-ID", "client-id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-id-42" {
+		t.Fatalf("echoed header = %q", got)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["request_id"] != "client-id-42" {
+		t.Fatalf("response request_id = %v", out["request_id"])
+	}
+
+	// No client id: one is generated for the header.
+	resp2, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"sql": "garbage"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	gen := resp2.Header.Get("X-Request-ID")
+	if len(gen) != 16 {
+		t.Fatalf("generated id = %q", gen)
+	}
+	// Error bodies carry the id too.
+	var errOut map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&errOut); err != nil {
+		t.Fatal(err)
+	}
+	if errOut["request_id"] != gen {
+		t.Fatalf("error body request_id = %v, header %q", errOut["request_id"], gen)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+	if status, _ := doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`); status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{"ejoin_queries_total 1", "ejoin_query_duration_seconds_bucket", "ejoin_query_strategy_duration_seconds_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestDebugQueriesContainsTrace(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		strings.NewReader(`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`))
+	req.Header.Set("X-Request-ID", "debug-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	status, dump := doJSON(t, http.MethodGet, ts.URL+"/debug/queries", "")
+	if status != http.StatusOK {
+		t.Fatalf("debug/queries status = %d", status)
+	}
+	raw, _ := json.Marshal(dump)
+	if !strings.Contains(string(raw), "debug-trace-7") {
+		t.Fatalf("slow-query dump lacks the query's trace id: %s", raw)
+	}
+}
+
+func TestExplainOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	ingestPair(t, ts)
+	status, out := doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35", "explain": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("explain query status = %d: %v", status, out)
+	}
+	planText, _ := out["plan_text"].(string)
+	if !strings.Contains(planText, "est=") || !strings.Contains(planText, "obs=") {
+		t.Fatalf("plan_text lacks est/obs: %q", planText)
+	}
+	if out["plan"] == nil || out["trace"] == nil {
+		t.Fatal("explain response lacks plan/trace")
+	}
+	// A plain query must not pay the explain payload.
+	status, out = doJSON(t, http.MethodPost, ts.URL+"/query",
+		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
+	if status != http.StatusOK {
+		t.Fatal("plain query failed")
+	}
+	if _, ok := out["plan"]; ok {
+		t.Fatal("plain query response carries a plan")
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	engine, err := service.NewEngine(service.Config{Dim: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(serverFor(engine))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without -debug-pprof")
+	}
+
+	on := newServer(true)
+	on.publish(engine)
+	tsOn := httptest.NewServer(on)
+	defer tsOn.Close()
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag = %d", resp.StatusCode)
+	}
+}

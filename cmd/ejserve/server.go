@@ -6,11 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ejoin/internal/core"
+	"ejoin/internal/obs"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/service"
@@ -19,16 +23,23 @@ import (
 // maxBodyBytes bounds request bodies (queries and CSV uploads).
 const maxBodyBytes = 64 << 20
 
-// server wraps an Engine with the HTTP/JSON surface.
+// server wraps an Engine with the HTTP/JSON surface. The engine is
+// published only once Open completes (WAL replay, warm-start), so the
+// process can listen — and answer /healthz and /readyz — while recovery
+// is still running; every other endpoint is 503 until publish.
 type server struct {
-	engine *service.Engine
-	mux    *http.ServeMux
+	engine  atomic.Pointer[service.Engine]
+	bootErr atomic.Pointer[string]
+	mux     *http.ServeMux
 }
 
-func newServer(e *service.Engine) *server {
-	s := &server{engine: e, mux: http.NewServeMux()}
+func newServer(debugPprof bool) *server {
+	s := &server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/queries", s.handleSlowQueries)
 	s.mux.HandleFunc("GET /tables", s.handleListTables)
 	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
@@ -37,10 +48,45 @@ func newServer(e *service.Engine) *server {
 	s.mux.HandleFunc("PUT /tables/{name}/precision", s.handleSetPrecision)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	if debugPprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
+// eng is the published engine (nil until boot completes).
+func (s *server) eng() *service.Engine { return s.engine.Load() }
+
+// publish makes the opened engine visible: /readyz flips to 200 and the
+// data endpoints start serving.
+func (s *server) publish(e *service.Engine) { s.engine.Store(e) }
+
+// failBoot records a fatal open error for /readyz to report while the
+// process shuts down.
+func (s *server) failBoot(err error) {
+	msg := err.Error()
+	s.bootErr.Store(&msg)
+}
+
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every request carries an id: the client's X-Request-ID if it sent
+	// one, otherwise generated. The id is echoed in the response header,
+	// in error bodies, and (via the context) becomes the query's trace id
+	// in the slow-query log.
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 128 {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+	if s.eng() == nil && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+		writeError(w, r, http.StatusServiceUnavailable, "engine is starting")
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mux.ServeHTTP(w, r)
 }
@@ -54,25 +100,61 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error shape.
+// errorBody is the uniform error shape; the request id lets a client
+// line a failure up with server logs and the slow-query log.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: obs.RequestIDFrom(r.Context()),
+	})
 }
 
+// handleHealthz is liveness: the process is up (even mid-recovery).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is readiness: 200 only once WAL replay and warm-start
+// finished and the engine is serving. Load balancers gate on this.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.eng() != nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	if msg := s.bootErr.Load(); msg != nil {
+		writeError(w, r, http.StatusServiceUnavailable, "engine failed to start: %s", *msg)
+		return
+	}
+	writeError(w, r, http.StatusServiceUnavailable, "engine is starting (recovery in progress)")
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	writeJSON(w, http.StatusOK, s.eng().Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.eng().WriteMetrics(w); err != nil {
+		// Headers are gone; all we can do is log the broken scrape.
+		log.Printf("ejserve: writing /metrics: %v", err)
+	}
+}
+
+// handleSlowQueries dumps the slow-query log: recent traces over the
+// threshold plus the worst-N ever, with spans and (for explain-traced
+// queries) the analyzed plan.
+func (s *server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng().SlowQueries())
 }
 
 func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.engine.Tables()})
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.eng().Tables()})
 }
 
 // createTableRequest ingests one CSV table:
@@ -100,7 +182,7 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		req.Schema = r.URL.Query().Get("schema")
 		csvSrc = r.Body // stream: no point buffering a large upload
 	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	} else {
 		csvSrc = strings.NewReader(req.CSV)
@@ -109,33 +191,33 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		req.Replace = v == "true" || v == "1"
 	}
 	if req.Name == "" || req.Schema == "" {
-		writeError(w, http.StatusBadRequest, "name and schema are required")
+		writeError(w, r, http.StatusBadRequest, "name and schema are required")
 		return
 	}
 	schema, err := parseSchema(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	prec, err := quant.ParsePrecision(req.Precision)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// The engine validates the knob before reading any CSV, so a bad
 	// precision cannot leave a half-configured table behind.
-	rows, err := s.engine.RegisterCSVWithPrecision(req.Name, schema, csvSrc, req.Replace, prec)
+	rows, err := s.eng().RegisterCSVWithPrecision(req.Name, schema, csvSrc, req.Replace, prec)
 	switch {
 	case errors.Is(err, service.ErrTableExists):
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, r, http.StatusConflict, "%v", err)
 		return
 	case errors.Is(err, service.ErrPersist):
 		// The table is live in memory but did not reach disk — a server
 		// fault, not a request fault.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "rows": rows, "precision": prec.String()})
@@ -164,22 +246,22 @@ func (s *server) handleUpsertRows(w http.ResponseWriter, r *http.Request) {
 		req.Key = r.URL.Query().Get("key")
 		csvSrc = r.Body
 	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	} else {
 		csvSrc = strings.NewReader(req.CSV)
 	}
 	if req.Key == "" {
-		writeError(w, http.StatusBadRequest, "key column is required (body \"key\" or ?key=)")
+		writeError(w, r, http.StatusBadRequest, "key column is required (body \"key\" or ?key=)")
 		return
 	}
-	if !s.engine.HasTable(name) {
-		writeError(w, http.StatusNotFound, "unknown table %q", name)
+	if !s.eng().HasTable(name) {
+		writeError(w, r, http.StatusNotFound, "unknown table %q", name)
 		return
 	}
-	res, err := s.engine.UpsertCSV(name, req.Key, csvSrc)
+	res, err := s.eng().UpsertCSV(r.Context(), name, req.Key, csvSrc)
 	if err != nil {
-		writeMutationError(w, err)
+		writeMutationError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -201,24 +283,24 @@ func (s *server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req deleteRowsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.Key == "" {
-		writeError(w, http.StatusBadRequest, "key column is required")
+		writeError(w, r, http.StatusBadRequest, "key column is required")
 		return
 	}
 	if len(req.Keys) == 0 {
-		writeError(w, http.StatusBadRequest, "keys must be non-empty")
+		writeError(w, r, http.StatusBadRequest, "keys must be non-empty")
 		return
 	}
-	if !s.engine.HasTable(name) {
-		writeError(w, http.StatusNotFound, "unknown table %q", name)
+	if !s.eng().HasTable(name) {
+		writeError(w, r, http.StatusNotFound, "unknown table %q", name)
 		return
 	}
-	res, err := s.engine.DeleteRows(name, req.Key, req.Keys)
+	res, err := s.eng().DeleteRows(r.Context(), name, req.Key, req.Keys)
 	if err != nil {
-		writeMutationError(w, err)
+		writeMutationError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -226,12 +308,12 @@ func (s *server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 
 // writeMutationError maps a mutation failure: durable-write faults are
 // the server's (500), everything else is the request's (400).
-func writeMutationError(w http.ResponseWriter, err error) {
+func writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, service.ErrPersist) {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
+	writeError(w, r, http.StatusBadRequest, "%v", err)
 }
 
 // setPrecisionRequest is the PUT /tables/{name}/precision body.
@@ -245,20 +327,20 @@ func (s *server) handleSetPrecision(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req setPrecisionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	prec, err := quant.ParsePrecision(req.Precision)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.engine.SetTablePrecision(name, prec); err != nil {
+	if err := s.eng().SetTablePrecision(name, prec); err != nil {
 		status := http.StatusBadRequest
-		if !s.engine.HasTable(name) {
+		if !s.eng().HasTable(name) {
 			status = http.StatusNotFound
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, r, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"name": name, "precision": prec.String()})
@@ -269,13 +351,13 @@ func (s *server) handleSetPrecision(w http.ResponseWriter, r *http.Request) {
 // memory-only engine is 409 (the resource state cannot satisfy the
 // request); an I/O failure during flush/compaction is 500.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	info, err := s.engine.Snapshot()
+	info, err := s.eng().Snapshot()
 	if errors.Is(err, service.ErrNotDurable) {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, r, http.StatusConflict, "%v", err)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -283,20 +365,24 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.engine.DropTable(name) {
-		writeError(w, http.StatusNotFound, "unknown table %q", name)
+	if !s.eng().DropTable(name) {
+		writeError(w, r, http.StatusNotFound, "unknown table %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
 }
 
 // queryRequest is the /query body: sqlish text or a structured join.
+// "explain": true turns the response into EXPLAIN ANALYZE: the plan tree
+// with estimated vs observed cardinality and per-node times, plus the
+// full span trace.
 type queryRequest struct {
 	SQL         string               `json:"sql,omitempty"`
 	Join        *service.JoinRequest `json:"join,omitempty"`
 	TimeoutMs   int64                `json:"timeout_ms,omitempty"`
 	Limit       int                  `json:"limit,omitempty"`
 	IncludeRows bool                 `json:"include_rows,omitempty"`
+	Explain     bool                 `json:"explain,omitempty"`
 }
 
 // matchJSON is one join match on the wire.
@@ -306,36 +392,43 @@ type matchJSON struct {
 	Sim   float32 `json:"sim"`
 }
 
-// queryResponse is the /query result.
+// queryResponse is the /query result. Plan, PlanText, and Trace appear
+// only on explain requests.
 type queryResponse struct {
-	Strategy      string           `json:"strategy"`
-	Precision     string           `json:"precision"`
-	Matches       []matchJSON      `json:"matches"`
-	Rows          []map[string]any `json:"rows,omitempty"`
-	Stats         core.Stats       `json:"stats"`
-	PlanCacheHit  bool             `json:"plan_cache_hit"`
-	AdmittedBytes int64            `json:"admitted_bytes"`
-	ElapsedMs     float64          `json:"elapsed_ms"`
+	RequestID     string             `json:"request_id,omitempty"`
+	Strategy      string             `json:"strategy"`
+	Precision     string             `json:"precision"`
+	Matches       []matchJSON        `json:"matches"`
+	Rows          []map[string]any   `json:"rows,omitempty"`
+	Stats         core.Stats         `json:"stats"`
+	PlanCacheHit  bool               `json:"plan_cache_hit"`
+	AdmittedBytes int64              `json:"admitted_bytes"`
+	ElapsedMs     float64            `json:"elapsed_ms"`
+	Plan          *obs.NodeStats     `json:"plan,omitempty"`
+	PlanText      string             `json:"plan_text,omitempty"`
+	Trace         *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	res, err := s.engine.Query(r.Context(), service.QueryRequest{
+	res, err := s.eng().Query(r.Context(), service.QueryRequest{
 		SQL:         req.SQL,
 		Join:        req.Join,
 		Timeout:     time.Duration(req.TimeoutMs) * time.Millisecond,
 		Limit:       req.Limit,
 		Materialize: req.IncludeRows,
+		Explain:     req.Explain,
 	})
 	if err != nil {
-		writeError(w, statusForQueryError(r, err), "%v", err)
+		writeError(w, r, statusForQueryError(r, err), "%v", err)
 		return
 	}
 	resp := queryResponse{
+		RequestID:     res.RequestID,
 		Strategy:      res.Strategy,
 		Precision:     res.Precision,
 		Matches:       make([]matchJSON, len(res.Matches)),
@@ -343,6 +436,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCacheHit:  res.PlanCacheHit,
 		AdmittedBytes: res.AdmittedBytes,
 		ElapsedMs:     float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if req.Explain {
+		resp.Plan = res.Plan
+		resp.PlanText = res.PlanText
+		resp.Trace = res.Trace
 	}
 	for i, m := range res.Matches {
 		resp.Matches[i] = matchJSON{Left: m.Left, Right: m.Right, Sim: m.Sim}

@@ -11,13 +11,21 @@ import (
 	"ejoin/internal/service"
 )
 
+// serverFor wraps an already-open engine the way main's boot goroutine
+// does: built unready, then published.
+func serverFor(e *service.Engine) *server {
+	s := newServer(false)
+	s.publish(e)
+	return s
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	engine, err := service.NewEngine(service.Config{Dim: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(engine))
+	ts := httptest.NewServer(serverFor(engine))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -264,7 +272,7 @@ func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
 	}
 
 	engine := open()
-	ts := httptest.NewServer(newServer(engine))
+	ts := httptest.NewServer(serverFor(engine))
 	ingestPair(t, ts)
 	status, _ := doJSON(t, http.MethodPost, ts.URL+"/query",
 		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)
@@ -287,7 +295,7 @@ func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
 	// query runs against a warm store with zero model calls.
 	engine2 := open()
 	defer engine2.Close()
-	ts2 := httptest.NewServer(newServer(engine2))
+	ts2 := httptest.NewServer(serverFor(engine2))
 	defer ts2.Close()
 	status, _ = doJSON(t, http.MethodPost, ts2.URL+"/query",
 		`{"sql": "SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35"}`)

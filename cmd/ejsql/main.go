@@ -19,12 +19,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ejoin/internal/core"
 	"ejoin/internal/embstore"
 	"ejoin/internal/model"
+	"ejoin/internal/obs"
 	"ejoin/internal/plan"
 	"ejoin/internal/relational"
 	"ejoin/internal/sqlish"
@@ -51,15 +53,18 @@ func main() {
 	flag.Var(&tables, "table", "table spec name=path;col:type,... (repeatable)")
 	query := flag.String("query", "", "query text")
 	dim := flag.Int("dim", 100, "embedding dimensionality")
+	explain := flag.Bool("explain", false, "print EXPLAIN ANALYZE (plan tree with est vs obs cardinality, per-node times, and spans) to stderr")
 	flag.Parse()
 
-	if err := run(tables, *query, *dim, os.Stdout); err != nil {
+	if err := run(tables, *query, *dim, *explain, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ejsql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tables []string, query string, dim int, out *os.File) error {
+// run executes the query, writing CSV to out and (when explain is set)
+// the EXPLAIN ANALYZE report to errOut so the result stays pipeable.
+func run(tables []string, query string, dim int, explain bool, out *os.File, errOut io.Writer) error {
 	if query == "" {
 		return fmt.Errorf("-query is required")
 	}
@@ -81,7 +86,13 @@ func run(tables []string, query string, dim int, out *os.File) error {
 	ex := &plan.Executor{Options: core.Options{Kernel: vec.DefaultKernel()}, Store: store}
 	opt := plan.NewOptimizer()
 	opt.Store = store
-	res, q, err := sqlish.RunWith(context.Background(), query, catalog, m, ex, opt)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if explain {
+		tr = obs.NewTrace("", query)
+		ctx = obs.WithAnalyze(obs.NewContext(ctx, tr))
+	}
+	res, q, err := sqlish.RunWith(ctx, query, catalog, m, ex, opt)
 	if err != nil {
 		return err
 	}
@@ -89,7 +100,23 @@ func run(tables []string, query string, dim int, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if explain {
+		printExplain(errOut, tr.Finish(res.Strategy.String(), "", nil, res.Analysis))
+	}
 	return relational.WriteCSV(out, joined)
+}
+
+// printExplain renders the analyzed plan and span timeline.
+func printExplain(w io.Writer, snap *obs.TraceSnapshot) {
+	fmt.Fprintf(w, "-- EXPLAIN ANALYZE (strategy=%s, elapsed=%s)\n", snap.Strategy, snap.Elapsed)
+	fmt.Fprint(w, obs.RenderAnalyze(snap.Plan))
+	for _, sp := range snap.Spans {
+		line := fmt.Sprintf("-- span %-12s start=%-10s dur=%s", sp.Name, sp.Start, sp.Dur)
+		if detail := obs.AttrsDetail(sp.Attrs); detail != "" {
+			line += "  " + detail
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 // loadTable parses one -table spec and loads the CSV.

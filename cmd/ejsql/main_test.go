@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,16 +79,25 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	defer f.Close()
 
+	var explain bytes.Buffer
 	err = run(
 		[]string{
 			"catalog=" + left + ";sku:int,name:text",
 			"feed=" + right + ";title:text,score:int",
 		},
 		"SELECT * FROM catalog JOIN feed ON SIM(catalog.name, feed.title) >= 0.35 WHERE feed.score >= 2",
-		64, f,
+		64, true, f, &explain,
 	)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// -explain renders the analyzed plan tree (est vs obs cardinality per
+	// node) and the span timeline.
+	report := explain.String()
+	for _, want := range []string{"EXPLAIN ANALYZE", "est=", "obs=", "EJoin(", "-- span"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("explain report missing %q:\n%s", want, report)
+		}
 	}
 	data, err := os.ReadFile(out)
 	if err != nil {
@@ -109,18 +120,18 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	f := os.Stdout
-	if err := run(nil, "SELECT", 64, f); err == nil {
+	if err := run(nil, "SELECT", 64, false, f, io.Discard); err == nil {
 		t.Error("expected missing-table error")
 	}
-	if err := run([]string{"x=y;a:int"}, "", 64, f); err == nil {
+	if err := run([]string{"x=y;a:int"}, "", 64, false, f, io.Discard); err == nil {
 		t.Error("expected missing-query error")
 	}
 	path := writeFile(t, "c.csv", "name\nant\n")
-	if err := run([]string{"c=" + path + ";name:text"}, "garbage query", 64, f); err == nil {
+	if err := run([]string{"c=" + path + ";name:text"}, "garbage query", 64, false, f, io.Discard); err == nil {
 		t.Error("expected parse error")
 	}
 	if err := run([]string{"c=" + path + ";name:text"},
-		"SELECT * FROM c JOIN c ON SIM(c.name, c.name) >= 0.5", 0, f); err == nil {
+		"SELECT * FROM c JOIN c ON SIM(c.name, c.name) >= 0.5", 0, false, f, io.Discard); err == nil {
 		t.Error("expected model dim error")
 	}
 }

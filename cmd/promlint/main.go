@@ -1,0 +1,44 @@
+// Command promlint validates Prometheus text exposition (version 0.0.4)
+// read from stdin or the named files: HELP/TYPE headers before samples,
+// contiguous families, legal names and label escaping, no duplicate
+// samples, and well-formed histograms (ascending cumulative buckets, a
+// +Inf bucket matching _count, a _sum sample). The CI smoke job pipes
+// ejserve's GET /metrics through it; exit status 1 means invalid.
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint scrape1.txt scrape2.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ejoin/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string) error {
+	if len(paths) == 0 {
+		return obs.ValidateExposition(os.Stdin)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = obs.ValidateExposition(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -175,12 +175,12 @@ func mutateThroughput(rep *mutateReport, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		if _, err := engine.UpsertRows("right", "text", bt); err != nil {
+		if _, err := engine.UpsertRows(context.Background(), "right", "text", bt); err != nil {
 			return err
 		}
 		if b > 0 {
 			prev := fresh[(b-1)*batchRows : b*batchRows]
-			if _, err := engine.DeleteRows("right", "text", prev); err != nil {
+			if _, err := engine.DeleteRows(context.Background(), "right", "text", prev); err != nil {
 				return err
 			}
 		}

@@ -74,6 +74,10 @@ type Stats struct {
 	EmbedTime time.Duration `json:"embed_time_ns"`
 	// JoinTime is time spent comparing/joining.
 	JoinTime time.Duration `json:"join_time_ns"`
+	// RerankTime is time spent in exact rescoring inside index probes
+	// (IVF-PQ's rerank pass); zero for scan strategies and uncompressed
+	// indexes. A subset of JoinTime.
+	RerankTime time.Duration `json:"rerank_time_ns,omitempty"`
 }
 
 // Result is the output of a join operator.

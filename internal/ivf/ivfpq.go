@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ejoin/internal/mat"
 	"ejoin/internal/quant"
@@ -45,6 +46,7 @@ type PQIndex struct {
 	rerank *mat.Matrix
 
 	distanceCalls atomic.Int64
+	rerankNanos   atomic.Int64
 }
 
 // DefaultRerankFactor sets the rerank candidate pool to factor·k when
@@ -118,6 +120,11 @@ func (ix *PQIndex) Codebook() *quant.Codebook { return ix.book }
 // DistanceCalls returns the comparisons performed by searches so far
 // (coarse centroid dots + ADC scores + rerank dots).
 func (ix *PQIndex) DistanceCalls() int64 { return ix.distanceCalls.Load() }
+
+// RerankNanos returns cumulative wall time spent in the exact rerank
+// pass. Join operators read the before/after delta to attribute rerank
+// time to one probe batch (the same pattern as DistanceCalls).
+func (ix *PQIndex) RerankNanos() int64 { return ix.rerankNanos.Load() }
 
 // SizeBytes is the resident index storage: codes, codebook, and coarse
 // centroids. The attached rerank vectors are excluded — they alias the
@@ -240,6 +247,7 @@ func (ix *PQIndex) Search(q []float32, k int, opts PQSearchOptions) ([]Result, e
 	}
 	// Exact rerank: rescore the ADC candidate pool against the attached
 	// float32 vectors, then keep the true top-k.
+	rerankStart := time.Now()
 	for i := range out {
 		ix.distanceCalls.Add(1)
 		out[i].Sim = vec.Dot(vec.KernelSIMD, nq, ix.rerank.Row(out[i].ID))
@@ -250,6 +258,7 @@ func (ix *PQIndex) Search(q []float32, k int, opts PQSearchOptions) ([]Result, e
 		}
 		return out[i].ID < out[j].ID
 	})
+	ix.rerankNanos.Add(time.Since(rerankStart).Nanoseconds())
 	if len(out) > k {
 		out = out[:k]
 	}

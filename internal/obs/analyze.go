@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NodeStats is one plan node's EXPLAIN ANALYZE record: the planner's
+// estimated output cardinality next to what execution observed, plus the
+// node's own wall time. The tree mirrors the executed plan. This is the
+// recording shape the adaptive planner consumes: estimate/observation
+// pairs per operator, per query.
+type NodeStats struct {
+	// Name is the node's Explain rendering (operator + arguments).
+	Name string `json:"name"`
+	// EstRows is the planning-time output cardinality estimate (-1 when
+	// the planner had no estimate for this node).
+	EstRows int64 `json:"est_rows"`
+	// ObsRows is the observed output cardinality.
+	ObsRows int64 `json:"obs_rows"`
+	// Elapsed is the node's own wall time (children excluded).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Detail carries operator-specific observations (embed hit/miss split,
+	// comparison counts).
+	Detail string `json:"detail,omitempty"`
+	// Children are the node's inputs.
+	Children []*NodeStats `json:"children,omitempty"`
+}
+
+// RenderAnalyze renders the tree as indented text, one node per line:
+//
+//	EJoin(...)  (est=150 obs=42 time=1.8ms) comparisons=22500
+//	  Embed(...)  (est=150 obs=150 time=3.1ms) hits=150 misses=0
+//	    Scan(catalog, rows=150)  (est=150 obs=150 time=12µs)
+func RenderAnalyze(root *NodeStats) string {
+	var b strings.Builder
+	renderInto(&b, root, 0)
+	return b.String()
+}
+
+func renderInto(b *strings.Builder, n *NodeStats, depth int) {
+	if n == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	est := "?"
+	if n.EstRows >= 0 {
+		est = fmt.Sprintf("%d", n.EstRows)
+	}
+	fmt.Fprintf(b, "%s  (est=%s obs=%d time=%s)", n.Name, est, n.ObsRows, n.Elapsed.Round(time.Microsecond))
+	if n.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(n.Detail)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderInto(b, c, depth+1)
+	}
+}
+
+// AttrsDetail renders attrs as a deterministic "k=v k=v" detail string.
+func AttrsDetail(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, attrs[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,47 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+type requestIDKey struct{}
+type analyzeKey struct{}
+
+// NewContext returns ctx carrying t. Recording calls downstream find it
+// via FromContext.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace methods
+// are nil-safe, so callers use the result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithRequestID returns ctx carrying the request id (the HTTP layer's
+// X-Request-ID), so the engine stamps it on traces it creates.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id carried by ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// WithAnalyze marks ctx as an EXPLAIN ANALYZE execution: the executor
+// builds the per-node observation tree only under this marker. Plain
+// traced queries record spans and histograms but skip the tree — it is
+// the expensive part of tracing (per-node allocation plus rendered
+// detail strings), and nothing reads it outside an explain response.
+func WithAnalyze(ctx context.Context) context.Context {
+	return context.WithValue(ctx, analyzeKey{}, true)
+}
+
+// AnalyzeFromContext reports whether ctx requests EXPLAIN ANALYZE.
+func AnalyzeFromContext(ctx context.Context) bool {
+	on, _ := ctx.Value(analyzeKey{}).(bool)
+	return on
+}

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition strictly checks Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers precede their samples, families are
+// contiguous, metric and label names are legal, label values are
+// correctly escaped/terminated, values parse, histograms carry complete,
+// cumulative, non-decreasing bucket series ending at le="+Inf" with
+// _count equal to the +Inf bucket, counters are non-negative and finite,
+// and no sample is duplicated. Returns nil for valid input (CI's
+// contract for GET /metrics).
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	types := make(map[string]string)      // family -> declared type
+	helps := make(map[string]bool)        // family -> HELP seen
+	closed := make(map[string]bool)       // family -> samples ended
+	seen := make(map[string]bool)         // name+labels -> duplicate check
+	hists := make(map[string]*histSeries) // family+plainLabels -> bucket audit
+	var current string                    // family whose block is open
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fam, typ, err := parseHeader(text)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if fam == "" {
+				continue // plain comment
+			}
+			if closed[fam] {
+				return fmt.Errorf("line %d: family %q reopened after its samples ended", line, fam)
+			}
+			if typ != "" {
+				if _, dup := types[fam]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", line, fam)
+				}
+				types[fam] = typ
+			} else {
+				if helps[fam] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", line, fam)
+				}
+				helps[fam] = true
+			}
+			if current != "" && current != fam {
+				closed[current] = true
+			}
+			current = fam
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := familyOf(name, types)
+		if closed[fam] {
+			return fmt.Errorf("line %d: sample for %q after its family block ended", line, fam)
+		}
+		if current != "" && current != fam {
+			closed[current] = true
+		}
+		current = fam
+		typ, declared := types[fam]
+		if !declared {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", line, name)
+		}
+		key := name + "|" + canonicalLabels(labels)
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s%s", line, name, canonicalLabels(labels))
+		}
+		seen[key] = true
+
+		switch typ {
+		case "counter":
+			if name != fam {
+				return fmt.Errorf("line %d: counter sample %q does not match family %q", line, name, fam)
+			}
+			if math.IsNaN(value) || math.IsInf(value, 0) || value < 0 {
+				return fmt.Errorf("line %d: counter %q has invalid value %v", line, name, value)
+			}
+		case "gauge":
+			if name != fam {
+				return fmt.Errorf("line %d: gauge sample %q does not match family %q", line, name, fam)
+			}
+		case "histogram":
+			if err := auditHistogramSample(fam, name, labels, value, hists); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		case "summary", "untyped":
+			// Accepted but not audited further.
+		default:
+			return fmt.Errorf("line %d: unknown TYPE %q for %q", line, typ, fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if err := h.complete(); err != nil {
+			return fmt.Errorf("histogram %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// parseHeader parses a # HELP / # TYPE comment, returning the family name
+// and (for TYPE) the declared type. Plain comments return ("", "", nil).
+func parseHeader(text string) (fam, typ string, err error) {
+	rest, ok := strings.CutPrefix(text, "# ")
+	if !ok {
+		return "", "", nil // "#..." without space: plain comment
+	}
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if fields[0] == "" || !validMetricName(fields[0]) {
+			return "", "", fmt.Errorf("HELP with invalid metric name %q", fields[0])
+		}
+		return fields[0], "", nil
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return "", "", fmt.Errorf("malformed TYPE line %q", text)
+		}
+		if !validMetricName(fields[0]) {
+			return "", "", fmt.Errorf("TYPE with invalid metric name %q", fields[0])
+		}
+		switch fields[1] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", fmt.Errorf("invalid metric type %q", fields[1])
+		}
+		return fields[0], fields[1], nil
+	default:
+		return "", "", nil
+	}
+}
+
+// parseSample parses one sample line: name{labels} value [timestamp].
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(text) && isNameChar(text[i], i == 0) {
+		i++
+	}
+	name = text[:i]
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("sample line %q has no metric name", text)
+	}
+	labels = map[string]string{}
+	if i < len(text) && text[i] == '{' {
+		i++
+		for {
+			if i >= len(text) {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+			}
+			if text[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(text) && isNameChar(text[j], j == i) && text[j] != ':' {
+				j++
+			}
+			lname := text[i:j]
+			if lname == "" || j >= len(text) || text[j] != '=' || j+1 >= len(text) || text[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label at %q", text[i:])
+			}
+			val, next, verr := parseLabelValue(text, j+2)
+			if verr != nil {
+				return "", nil, 0, verr
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", lname)
+			}
+			labels[lname] = val
+			i = next
+			if i < len(text) && text[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimSpace(text[i:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", text)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("timestamp %q: %w", fields[1], terr)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelValue parses an escaped, quoted label value starting at i
+// (just past the opening quote), returning the value and the index past
+// the closing quote.
+func parseLabelValue(text string, i int) (string, int, error) {
+	var b strings.Builder
+	for i < len(text) {
+		c := text[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(text) {
+				return "", 0, fmt.Errorf("dangling escape in %q", text)
+			}
+			switch text[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in %q", text[i+1], text)
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", text)
+}
+
+// familyOf maps a sample name to its family: histogram series names carry
+// _bucket/_sum/_count suffixes.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// histSeries audits one histogram series (one family + label set).
+type histSeries struct {
+	buckets  []histBucket
+	sumSeen  bool
+	count    float64
+	countSet bool
+}
+
+type histBucket struct {
+	le    float64
+	count float64
+}
+
+func auditHistogramSample(fam, name string, labels map[string]string, value float64, hists map[string]*histSeries) error {
+	plain := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			plain[k] = v
+		}
+	}
+	key := fam + canonicalLabelsMap(plain)
+	h := hists[key]
+	if h == nil {
+		h = &histSeries{}
+		hists[key] = h
+	}
+	switch {
+	case name == fam+"_bucket":
+		leStr, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("bucket sample %q missing le label", name)
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return fmt.Errorf("bucket le %q: %w", leStr, err)
+		}
+		if len(h.buckets) > 0 {
+			last := h.buckets[len(h.buckets)-1]
+			if le <= last.le {
+				return fmt.Errorf("bucket le %v not ascending after %v", le, last.le)
+			}
+			if value < last.count {
+				return fmt.Errorf("bucket count %v decreases after %v (not cumulative)", value, last.count)
+			}
+		}
+		if value < 0 || math.IsNaN(value) {
+			return fmt.Errorf("bucket count %v invalid", value)
+		}
+		h.buckets = append(h.buckets, histBucket{le: le, count: value})
+	case name == fam+"_sum":
+		if h.sumSeen {
+			return fmt.Errorf("duplicate %s_sum", fam)
+		}
+		h.sumSeen = true
+	case name == fam+"_count":
+		if h.countSet {
+			return fmt.Errorf("duplicate %s_count", fam)
+		}
+		h.count, h.countSet = value, true
+	case name == fam:
+		return fmt.Errorf("histogram family %q has a bare sample (want _bucket/_sum/_count)", fam)
+	default:
+		return fmt.Errorf("sample %q does not belong to histogram family %q", name, fam)
+	}
+	return nil
+}
+
+// complete checks a series' closing invariants once all input is read.
+func (h *histSeries) complete() error {
+	if len(h.buckets) == 0 {
+		return fmt.Errorf("no buckets")
+	}
+	last := h.buckets[len(h.buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	if !h.sumSeen {
+		return fmt.Errorf("missing _sum")
+	}
+	if !h.countSet {
+		return fmt.Errorf("missing _count")
+	}
+	if h.count != last.count {
+		return fmt.Errorf("_count %v != +Inf bucket %v", h.count, last.count)
+	}
+	return nil
+}
+
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsMap(labels)
+}
+
+func canonicalLabelsMap(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a fixed-size ring of completed traces: every trace at least
+// Threshold slow enters the ring (threshold 0 keeps everything), and the
+// worst N traces ever seen are retained separately so one burst of merely
+// slow queries cannot evict the pathological one an operator is hunting.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []*TraceSnapshot
+	next      int
+	recorded  int64
+	worst     []*TraceSnapshot // sorted by Elapsed descending
+	worstN    int
+}
+
+// NewSlowLog builds a log holding size ring entries and the worstN
+// slowest traces. size and worstN default to 128 and 8 when <= 0.
+func NewSlowLog(size, worstN int, threshold time.Duration) *SlowLog {
+	if size <= 0 {
+		size = 128
+	}
+	if worstN <= 0 {
+		worstN = 8
+	}
+	return &SlowLog{
+		threshold: threshold,
+		ring:      make([]*TraceSnapshot, 0, size),
+		worstN:    worstN,
+	}
+}
+
+// Keeps reports whether a trace that took elapsed would be retained by
+// Record — in the ring (at least Threshold slow) or in the worst-N set.
+// Callers use it to skip building the snapshot at all for fast queries:
+// snapshotting copies every span, and in a warm steady state almost no
+// query clears the worst-N floor.
+func (l *SlowLog) Keeps(elapsed time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if elapsed >= l.threshold {
+		return true
+	}
+	return len(l.worst) < l.worstN || elapsed > l.worst[len(l.worst)-1].Elapsed
+}
+
+// Record offers a completed trace to the log.
+func (l *SlowLog) Record(s *TraceSnapshot) {
+	if l == nil || s == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s.Elapsed >= l.threshold {
+		l.recorded++
+		if len(l.ring) < cap(l.ring) {
+			l.ring = append(l.ring, s)
+		} else {
+			l.ring[l.next] = s
+			l.next = (l.next + 1) % cap(l.ring)
+		}
+	}
+	// Keep the worst-N set regardless of the threshold filter.
+	if len(l.worst) < l.worstN || s.Elapsed > l.worst[len(l.worst)-1].Elapsed {
+		i := len(l.worst)
+		for i > 0 && l.worst[i-1].Elapsed < s.Elapsed {
+			i--
+		}
+		l.worst = append(l.worst, nil)
+		copy(l.worst[i+1:], l.worst[i:])
+		l.worst[i] = s
+		if len(l.worst) > l.worstN {
+			l.worst = l.worst[:l.worstN]
+		}
+	}
+}
+
+// SlowLogDump is the /debug/queries payload.
+type SlowLogDump struct {
+	// ThresholdNS is the ring's admission threshold.
+	ThresholdNS int64 `json:"threshold_ns"`
+	// Recorded counts traces ever admitted to the ring (including ones
+	// since overwritten).
+	Recorded int64 `json:"recorded"`
+	// Recent are the ring's traces, newest first.
+	Recent []*TraceSnapshot `json:"recent"`
+	// Worst are the slowest traces ever seen, slowest first — retained
+	// even when the ring has rolled past them.
+	Worst []*TraceSnapshot `json:"worst"`
+}
+
+// Dump snapshots the log.
+func (l *SlowLog) Dump() SlowLogDump {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := SlowLogDump{
+		ThresholdNS: l.threshold.Nanoseconds(),
+		Recorded:    l.recorded,
+		Recent:      make([]*TraceSnapshot, 0, len(l.ring)),
+		Worst:       append([]*TraceSnapshot(nil), l.worst...),
+	}
+	// Newest first: walk backward from the slot before next.
+	n := len(l.ring)
+	for i := 0; i < n; i++ {
+		out.Recent = append(out.Recent, l.ring[((l.next-1-i)%n+n)%n])
+	}
+	return out
+}
+
+// Counts reports (ring entries, worst entries, recorded total).
+func (l *SlowLog) Counts() (entries, worst int, recorded int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring), len(l.worst), l.recorded
+}

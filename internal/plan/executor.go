@@ -11,6 +11,7 @@ import (
 	"ejoin/internal/hnsw"
 	"ejoin/internal/mat"
 	"ejoin/internal/model"
+	"ejoin/internal/obs"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 	"ejoin/internal/vec"
@@ -41,6 +42,10 @@ type ExecResult struct {
 	// predicates (original orientation).
 	LeftRows  relational.Selection
 	RightRows relational.Selection
+	// Analysis is the EXPLAIN ANALYZE tree (estimated vs observed
+	// cardinality, per-node wall time), mirroring the executed plan. Built
+	// only when the context carries an obs.Trace.
+	Analysis *obs.NodeStats
 }
 
 // evaluatedInput is one join input after scan/filter/embed evaluation.
@@ -50,6 +55,7 @@ type evaluatedInput struct {
 	embeddings *mat.Matrix          // one row per entry of rows
 	modelCalls int64
 	embedTime  time.Duration
+	analysis   *obs.NodeStats // per-node observations (explain executions only)
 }
 
 // Execute runs the plan. The plan's structure is executed faithfully: for
@@ -58,14 +64,18 @@ type evaluatedInput struct {
 // predicts, which is how the experiments quantify what the rewrites buy.
 func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) {
 	evalEmbeds := j.Strategy != cost.StrategyNaiveNLJ
+	// Analysis (the EXPLAIN ANALYZE tree) is built only when the context
+	// asks for it: plain traced queries keep their spans cheap and skip
+	// all per-node recording.
+	analyze := obs.AnalyzeFromContext(ctx)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("plan: execute cancelled: %w", err)
 	}
-	left, err := ex.evalInput(ctx, j.Left, evalEmbeds)
+	left, err := ex.evalInput(ctx, j.Left, evalEmbeds, analyze)
 	if err != nil {
 		return nil, fmt.Errorf("plan: evaluating left input: %w", err)
 	}
-	right, err := ex.evalInput(ctx, j.Right, evalEmbeds)
+	right, err := ex.evalInput(ctx, j.Right, evalEmbeds, analyze)
 	if err != nil {
 		return nil, fmt.Errorf("plan: evaluating right input: %w", err)
 	}
@@ -88,15 +98,35 @@ func (ex *Executor) Execute(ctx context.Context, j *EJoin) (*ExecResult, error) 
 		}
 		res.LeftRows, res.RightRows = res.RightRows, res.LeftRows
 	}
+	if analyze {
+		est := j.EstRows
+		if est <= 0 {
+			est = -1 // hand-built plans carry no estimate
+		}
+		detail := map[string]int64{"comparisons": res.Stats.Comparisons}
+		if res.Stats.Blocks > 0 {
+			detail["blocks"] = int64(res.Stats.Blocks)
+		}
+		res.Analysis = &obs.NodeStats{
+			Name:     j.Explain(),
+			EstRows:  est,
+			ObsRows:  int64(len(res.Matches)),
+			Elapsed:  res.Stats.JoinTime,
+			Detail:   obs.AttrsDetail(detail),
+			Children: []*obs.NodeStats{left.analysis, right.analysis},
+		}
+	}
 	return res, nil
 }
 
 // evalInput walks a Scan/Filter/Embed subtree in its written order.
 // evalEmbeds=false skips Embed nodes (naive strategy: the join operator
-// itself invokes the model per pair).
-func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*evaluatedInput, error) {
+// itself invokes the model per pair). analyze=true additionally builds
+// the per-node observation tree for EXPLAIN ANALYZE.
+func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds, analyze bool) (*evaluatedInput, error) {
 	switch t := n.(type) {
 	case *Scan:
+		start := time.Now()
 		rows := relational.All(t.Ref.Table.NumRows())
 		if t.Ref.Visible != nil {
 			// MVCC visibility: the query pinned a generation snapshot and
@@ -127,13 +157,24 @@ func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*ev
 				out.embeddings = m
 			}
 		}
+		if analyze {
+			// est = physical rows, obs = visible rows: the gap is the
+			// snapshot's tombstone overhang.
+			out.analysis = &obs.NodeStats{
+				Name:    t.Explain(),
+				EstRows: int64(t.Ref.Table.NumRows()),
+				ObsRows: int64(len(rows)),
+				Elapsed: time.Since(start),
+			}
+		}
 		return out, nil
 
 	case *Filter:
-		in, err := ex.evalInput(ctx, t.Input, evalEmbeds)
+		in, err := ex.evalInput(ctx, t.Input, evalEmbeds, analyze)
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		sel, err := relational.And(in.ref.Table, t.Preds...)
 		if err != nil {
 			return nil, err
@@ -160,15 +201,37 @@ func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*ev
 			}
 			out.embeddings = g
 		}
+		if analyze {
+			// est = the pre-selection (child) estimate: the gap is the
+			// observed predicate selectivity this engine cannot yet predict.
+			out.analysis = &obs.NodeStats{
+				Name:     t.Explain(),
+				EstRows:  childEst(in.analysis),
+				ObsRows:  int64(len(rows)),
+				Elapsed:  time.Since(start),
+				Children: []*obs.NodeStats{in.analysis},
+			}
+		}
 		return out, nil
 
 	case *Embed:
-		in, err := ex.evalInput(ctx, t.Input, evalEmbeds)
+		in, err := ex.evalInput(ctx, t.Input, evalEmbeds, analyze)
 		if err != nil {
 			return nil, err
 		}
 		if !evalEmbeds || in.embeddings != nil {
-			return in, nil // naive strategy, or already embedded (vector column)
+			// Naive strategy (the join embeds per pair), or already
+			// embedded (vector column).
+			if analyze {
+				in.analysis = &obs.NodeStats{
+					Name:     t.Explain(),
+					EstRows:  childEst(in.analysis),
+					ObsRows:  int64(len(in.rows)),
+					Detail:   "deferred",
+					Children: []*obs.NodeStats{in.analysis},
+				}
+			}
+			return in, nil
 		}
 		col, err := in.ref.Table.Strings(t.Column)
 		if err != nil {
@@ -179,13 +242,29 @@ func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*ev
 			texts[i] = col[r]
 		}
 		start := time.Now()
-		emb, calls, err := ex.embed(ctx, t.Model, texts)
+		sp := obs.FromContext(ctx).StartSpan("embed")
+		emb, bs, err := ex.embed(ctx, t.Model, texts)
 		if err != nil {
 			return nil, err
 		}
+		sp.Attr("hits", bs.Hits).Attr("misses", bs.Misses).
+			Attr("merged", bs.Merged).Attr("model_calls", bs.ModelCalls).End()
 		in.embedTime += time.Since(start)
-		in.modelCalls += calls
+		in.modelCalls += bs.ModelCalls
 		in.embeddings = emb
+		if analyze {
+			in.analysis = &obs.NodeStats{
+				Name:    t.Explain(),
+				EstRows: childEst(in.analysis),
+				ObsRows: int64(len(in.rows)),
+				Elapsed: time.Since(start),
+				Detail: obs.AttrsDetail(map[string]int64{
+					"hits": bs.Hits, "misses": bs.Misses,
+					"merged": bs.Merged, "model_calls": bs.ModelCalls,
+				}),
+				Children: []*obs.NodeStats{in.analysis},
+			}
+		}
 		return in, nil
 
 	default:
@@ -193,9 +272,56 @@ func (ex *Executor) evalInput(ctx context.Context, n Node, evalEmbeds bool) (*ev
 	}
 }
 
-// join dispatches to the physical strategy. Match offsets are remapped to
-// global row ids before returning.
+// childEst propagates a child's estimate upward (-1 when absent).
+func childEst(child *obs.NodeStats) int64 {
+	if child == nil {
+		return -1
+	}
+	return child.EstRows
+}
+
+// join wraps the strategy dispatch in its trace span: "join:<strategy>"
+// for scans, "index.probe" for index probes — plus a synthetic "rerank"
+// span when the index reported exact-rescoring time (IVF-PQ).
 func (ex *Executor) join(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*ExecResult, error) {
+	tr := obs.FromContext(ctx)
+	name := "index.probe"
+	if j.Strategy != cost.StrategyIndex {
+		name = "join:" + strategyLabel(j.Strategy)
+	}
+	sp := tr.StartSpan(name)
+	out, err := ex.joinDispatch(ctx, j, left, right)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.Attr("comparisons", out.Stats.Comparisons).
+		Attr("matches", int64(len(out.Matches))).End()
+	if rt := out.Stats.RerankTime; rt > 0 && tr != nil {
+		// The rerank interval is measured inside the index; anchor it at
+		// the tail of the probe span it is a subset of.
+		tr.AddSpan("rerank", tr.Since()-rt, rt, nil)
+	}
+	return out, err
+}
+
+// strategyLabel is the span-vocabulary name for a scan strategy.
+func strategyLabel(s cost.Strategy) string {
+	switch s {
+	case cost.StrategyNaiveNLJ:
+		return "naive-nlj"
+	case cost.StrategyNLJ:
+		return "nlj"
+	case cost.StrategyTensor:
+		return "tensor"
+	default:
+		return s.String()
+	}
+}
+
+// joinDispatch dispatches to the physical strategy. Match offsets are
+// remapped to global row ids before returning.
+func (ex *Executor) joinDispatch(ctx context.Context, j *EJoin, left, right *evaluatedInput) (*ExecResult, error) {
 	out := &ExecResult{Strategy: j.Strategy, LeftRows: left.rows, RightRows: right.rows}
 
 	if j.Strategy == cost.StrategyNaiveNLJ {
@@ -407,21 +533,18 @@ func (ex *Executor) naiveJoin(ctx context.Context, j *EJoin, left, right *evalua
 
 // embed evaluates E_µ over texts: through the shared store when one is
 // attached (cache hits and merged in-flight calls skip the model), through
-// the parallel scheduler otherwise. Returns the embeddings and the number
-// of model calls actually performed.
-func (ex *Executor) embed(ctx context.Context, m model.Model, texts []string) (*mat.Matrix, int64, error) {
+// the parallel scheduler otherwise. The returned BatchStats carry the
+// hit/miss split (all misses on the store-less path).
+func (ex *Executor) embed(ctx context.Context, m model.Model, texts []string) (*mat.Matrix, embstore.BatchStats, error) {
 	if ex.Store != nil {
-		emb, bs, err := ex.Store.EmbedAll(ctx, m, texts, embstore.BatchOptions{Threads: ex.Options.Threads})
-		if err != nil {
-			return nil, bs.ModelCalls, err
-		}
-		return emb, bs.ModelCalls, nil
+		return ex.Store.EmbedAll(ctx, m, texts, embstore.BatchOptions{Threads: ex.Options.Threads})
 	}
+	bs := embstore.BatchStats{Misses: int64(len(texts)), ModelCalls: int64(len(texts))}
 	emb, err := core.EmbedParallel(ctx, m, texts, ex.Options.Threads)
 	if err != nil {
-		return nil, 0, err
+		return nil, embstore.BatchStats{}, err
 	}
-	return emb, int64(len(texts)), nil
+	return emb, bs, nil
 }
 
 // ensureEmbedded embeds in's surviving texts when embeddings are missing.
@@ -436,12 +559,15 @@ func (ex *Executor) ensureEmbedded(ctx context.Context, n Node, in *evaluatedInp
 	if mdl == nil {
 		return fmt.Errorf("plan: input %q has neither embeddings nor a model", in.ref.Name)
 	}
-	emb, calls, err := ex.embed(ctx, mdl, texts)
+	sp := obs.FromContext(ctx).StartSpan("embed")
+	emb, bs, err := ex.embed(ctx, mdl, texts)
 	if err != nil {
 		return err
 	}
+	sp.Attr("hits", bs.Hits).Attr("misses", bs.Misses).
+		Attr("merged", bs.Merged).Attr("model_calls", bs.ModelCalls).End()
 	in.embeddings = emb
-	in.modelCalls += calls
+	in.modelCalls += bs.ModelCalls
 	return nil
 }
 

@@ -59,6 +59,10 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 		Prefetch: root.Prefetch,
 		Strategy: root.Strategy,
 	}
+	// Output cardinality estimate, from the original (pre-reorder) left:
+	// match counts are orientation-independent, and the pre-swap left is
+	// the side the condition is phrased around.
+	out.EstRows = estimateJoinRows(out.Spec, out.Left)
 
 	// Rule 2 (E-θ-Join equivalence): R ⋈_{E,µ,θ} S ⇔ E_µ(R) ⋈_θ E_µ(S) —
 	// embeddings are computed once per input, not once per compared pair.

@@ -162,6 +162,12 @@ type EJoin struct {
 	Swapped bool
 	// Strategy is the physical operator chosen by the planner.
 	Strategy cost.Strategy
+	// EstRows is the planner's output cardinality estimate (-1 = none).
+	// Top-k joins emit exactly k matches per surviving left row; threshold
+	// joins use the crude one-match-per-left-row heuristic — this engine
+	// has no similarity histograms yet, and EXPLAIN ANALYZE's est-vs-obs
+	// gap is the recording that a future adaptive planner will close.
+	EstRows int64
 	// Estimates holds the cost model's per-strategy estimates.
 	Estimates map[cost.Strategy]float64
 	// Precision is the storage/compute precision the scan executes at
@@ -244,13 +250,25 @@ func NewNaivePlan(q Query) (*EJoin, error) {
 		}
 		return n
 	}
+	left, right := build(q.Left), build(q.Right)
 	return &EJoin{
-		Left:     build(q.Left),
-		Right:    build(q.Right),
+		Left:     left,
+		Right:    right,
 		Spec:     q.Join,
 		Prefetch: false,
 		Strategy: cost.StrategyNaiveNLJ,
+		EstRows:  estimateJoinRows(q.Join, left),
 	}, nil
+}
+
+// estimateJoinRows estimates a join's output cardinality from its left
+// input's estimate (see EJoin.EstRows for the heuristic's limits).
+func estimateJoinRows(spec JoinSpec, left Node) int64 {
+	lr := int64(estimateRows(left))
+	if spec.Kind == TopKJoin {
+		return lr * int64(spec.K)
+	}
+	return lr
 }
 
 func validateQuery(q Query) error {

@@ -7,6 +7,7 @@ package service
 // per table, and the shared WAL on durable engines.
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -19,6 +20,7 @@ import (
 	"ejoin/internal/ivf"
 	"ejoin/internal/mat"
 	"ejoin/internal/mutation"
+	"ejoin/internal/obs"
 	"ejoin/internal/plan"
 	"ejoin/internal/relational"
 )
@@ -153,19 +155,30 @@ type MutationResult struct {
 }
 
 // hooks assembles the WAL-first persist hook and the index-maintenance
-// publish hook for one table.
-func (e *Engine) hooks(ts *tableState) mutation.Hooks {
+// publish hook for one table. A trace on ctx gets a "wal.append" span per
+// persisted record and an "index.append" span per maintained batch.
+func (e *Engine) hooks(ctx context.Context, ts *tableState) mutation.Hooks {
+	tr := obs.FromContext(ctx)
 	h := mutation.Hooks{}
 	if e.mut.wal != nil {
 		h.Persist = func(rec mutation.Record) error {
-			if err := e.mut.wal.Append(rec); err != nil {
+			sp := tr.StartSpan("wal.append")
+			err := e.mut.wal.Append(rec)
+			sp.End()
+			if err != nil {
 				return fmt.Errorf("%w: wal: %v", ErrPersist, err)
 			}
 			return nil
 		}
 	}
 	h.BeforePublish = func(next *mutation.Version, appended *relational.Table) error {
-		return e.indexAppend(ts, next, appended)
+		sp := tr.StartSpan("index.append")
+		if appended != nil {
+			sp.Attr("rows", int64(appended.NumRows()))
+		}
+		err := e.indexAppend(ts, next, appended)
+		sp.End()
+		return err
 	}
 	return h
 }
@@ -200,23 +213,30 @@ func (e *Engine) indexAppend(ts *tableState, next *mutation.Version, appended *r
 // the key. The batch schema must equal the table's. Durable engines log
 // the batch to the WAL (fsynced) before applying; concurrent queries keep
 // reading the pre-batch version until the atomic publish.
-func (e *Engine) UpsertRows(name, keyCol string, batch *relational.Table) (MutationResult, error) {
+func (e *Engine) UpsertRows(ctx context.Context, name, keyCol string, batch *relational.Table) (MutationResult, error) {
 	if batch == nil {
 		return MutationResult{}, badRequest(fmt.Errorf("service: nil upsert batch"))
 	}
+	tr, ctx := e.startTrace(ctx, mutationLabel("upsert", name, batch.NumRows()), false)
 	e.mut.mu.RLock()
 	defer e.mut.mu.RUnlock()
 	ts := e.mut.get(name)
 	if ts == nil {
-		return MutationResult{}, badRequest(fmt.Errorf("service: unknown table %q", name))
+		err := badRequest(fmt.Errorf("service: unknown table %q", name))
+		e.finishTrace(tr, "upsert", "", err, nil)
+		return MutationResult{}, err
 	}
-	next, replaced, err := ts.mt.Upsert(keyCol, batch, e.hooks(ts))
+	sp := tr.StartSpan("apply")
+	next, replaced, err := ts.mt.Upsert(keyCol, batch, e.hooks(ctx, ts))
 	if err != nil {
-		if IsBadRequest(err) || errors.Is(err, ErrPersist) {
-			return MutationResult{}, err
+		sp.End()
+		if !IsBadRequest(err) && !errors.Is(err, ErrPersist) {
+			err = badRequest(err)
 		}
-		return MutationResult{}, badRequest(err)
+		e.finishTrace(tr, "upsert", "", err, nil)
+		return MutationResult{}, err
 	}
+	sp.Attr("rows", int64(batch.NumRows())).Attr("replaced", int64(replaced)).End()
 	e.catalog.Replace(name, next.Table)
 	e.mut.upserts.Add(1)
 	e.mut.upsertedRows.Add(int64(batch.NumRows()))
@@ -229,13 +249,14 @@ func (e *Engine) UpsertRows(name, keyCol string, batch *relational.Table) (Mutat
 		LiveRows: next.NumLive(),
 	}
 	res.Reclustering = e.maybeRecluster(ts, next)
+	e.finishTrace(tr, "upsert", "", nil, nil)
 	return res, nil
 }
 
 // UpsertCSV parses CSV rows under the table's schema and upserts them.
 // Tables with vector columns cannot ingest CSV (no vector literal form);
 // use UpsertRows.
-func (e *Engine) UpsertCSV(name, keyCol string, r io.Reader) (MutationResult, error) {
+func (e *Engine) UpsertCSV(ctx context.Context, name, keyCol string, r io.Reader) (MutationResult, error) {
 	ts := e.mut.get(name)
 	if ts == nil {
 		return MutationResult{}, badRequest(fmt.Errorf("service: unknown table %q", name))
@@ -244,26 +265,33 @@ func (e *Engine) UpsertCSV(name, keyCol string, r io.Reader) (MutationResult, er
 	if err != nil {
 		return MutationResult{}, badRequest(err)
 	}
-	return e.UpsertRows(name, keyCol, batch)
+	return e.UpsertRows(ctx, name, keyCol, batch)
 }
 
 // DeleteRows tombstones the live rows whose keyCol values match keys
 // (canonical string form — integers base 10, floats 'g', times RFC 3339).
 // Unknown keys are reported, not errors: deletes are idempotent.
-func (e *Engine) DeleteRows(name, keyCol string, keys []string) (MutationResult, error) {
+func (e *Engine) DeleteRows(ctx context.Context, name, keyCol string, keys []string) (MutationResult, error) {
+	tr, ctx := e.startTrace(ctx, mutationLabel("delete", name, len(keys)), false)
 	e.mut.mu.RLock()
 	defer e.mut.mu.RUnlock()
 	ts := e.mut.get(name)
 	if ts == nil {
-		return MutationResult{}, badRequest(fmt.Errorf("service: unknown table %q", name))
+		err := badRequest(fmt.Errorf("service: unknown table %q", name))
+		e.finishTrace(tr, "delete", "", err, nil)
+		return MutationResult{}, err
 	}
-	next, removed, err := ts.mt.Delete(keyCol, keys, e.hooks(ts))
+	sp := tr.StartSpan("apply")
+	next, removed, err := ts.mt.Delete(keyCol, keys, e.hooks(ctx, ts))
 	if err != nil {
-		if IsBadRequest(err) || errors.Is(err, ErrPersist) {
-			return MutationResult{}, err
+		sp.End()
+		if !IsBadRequest(err) && !errors.Is(err, ErrPersist) {
+			err = badRequest(err)
 		}
-		return MutationResult{}, badRequest(err)
+		e.finishTrace(tr, "delete", "", err, nil)
+		return MutationResult{}, err
 	}
+	sp.Attr("deleted", int64(removed)).End()
 	e.catalog.Replace(name, next.Table)
 	e.mut.deletes.Add(1)
 	e.mut.deleted.Add(int64(removed))
@@ -275,6 +303,7 @@ func (e *Engine) DeleteRows(name, keyCol string, keys []string) (MutationResult,
 		LiveRows: next.NumLive(),
 	}
 	res.Reclustering = e.maybeRecluster(ts, next)
+	e.finishTrace(tr, "delete", "", nil, nil)
 	return res, nil
 }
 

@@ -25,7 +25,7 @@ func matchKey(res *QueryResult) string {
 
 func upsertRightCSV(t *testing.T, e *Engine, rows ...string) MutationResult {
 	t.Helper()
-	res, err := e.UpsertCSV("right", "text", strings.NewReader("text\n"+strings.Join(rows, "\n")+"\n"))
+	res, err := e.UpsertCSV(context.Background(), "right", "text", strings.NewReader("text\n"+strings.Join(rows, "\n")+"\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestMutationQueryVisibility(t *testing.T) {
 	}
 
 	// Deleting the key restores the exact baseline match set.
-	del, err := e.DeleteRows("right", "text", []string{"giraffe", "nosuch"})
+	del, err := e.DeleteRows(context.Background(), "right", "text", []string{"giraffe", "nosuch"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestMutationWALReplayZeroModelCalls(t *testing.T) {
 	e1, _ := openTestEngine(t, dir)
 	ingestPair(t, e1)
 	upsertRightCSV(t, e1, "giraffe")
-	if _, err := e1.DeleteRows("right", "text", []string{"zebra"}); err != nil {
+	if _, err := e1.DeleteRows(context.Background(), "right", "text", []string{"zebra"}); err != nil {
 		t.Fatal(err)
 	}
 	mutated := runQuery(t, e1)
@@ -150,7 +150,7 @@ func TestMutationSnapshotCheckpointTruncatesWAL(t *testing.T) {
 	e1, _ := openTestEngine(t, dir)
 	ingestPair(t, e1)
 	upsertRightCSV(t, e1, "giraffe")
-	if _, err := e1.DeleteRows("right", "text", []string{"zebra"}); err != nil {
+	if _, err := e1.DeleteRows(context.Background(), "right", "text", []string{"zebra"}); err != nil {
 		t.Fatal(err)
 	}
 	mutated := runQuery(t, e1)
@@ -213,7 +213,7 @@ func TestMutationDropRecreateNoLeak(t *testing.T) {
 	e1, _ := openTestEngine(t, dir)
 	ingestPair(t, e1)
 	upsertRightCSV(t, e1, "giraffe")
-	if _, err := e1.DeleteRows("right", "text", []string{"barbecues"}); err != nil {
+	if _, err := e1.DeleteRows(context.Background(), "right", "text", []string{"barbecues"}); err != nil {
 		t.Fatal(err)
 	}
 	if !e1.DropTable("right") {
@@ -274,7 +274,7 @@ func TestMutationConcurrentReadersSeeWholeGenerations(t *testing.T) {
 	stateA := logicalKey(runQuery(t, e))
 	upsertRightCSV(t, e, "giraffe", "barbecue")
 	stateB := logicalKey(runQuery(t, e))
-	if _, err := e.DeleteRows("right", "text", []string{"giraffe", "barbecue"}); err != nil {
+	if _, err := e.DeleteRows(context.Background(), "right", "text", []string{"giraffe", "barbecue"}); err != nil {
 		t.Fatal(err)
 	}
 	if stateA == stateB {
@@ -293,12 +293,12 @@ func TestMutationConcurrentReadersSeeWholeGenerations(t *testing.T) {
 			default:
 			}
 			if i%2 == 0 {
-				if _, err := e.UpsertCSV("right", "text", strings.NewReader("text\ngiraffe\nbarbecue\n")); err != nil {
+				if _, err := e.UpsertCSV(context.Background(), "right", "text", strings.NewReader("text\ngiraffe\nbarbecue\n")); err != nil {
 					t.Error(err)
 					return
 				}
 			} else {
-				if _, err := e.DeleteRows("right", "text", []string{"giraffe", "barbecue"}); err != nil {
+				if _, err := e.DeleteRows(context.Background(), "right", "text", []string{"giraffe", "barbecue"}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -393,7 +393,7 @@ func TestMutationIndexMaintenance(t *testing.T) {
 	}
 
 	// Delete the winner plus enough rows to cross the 30% churn threshold.
-	del, err := e.DeleteRows("items", "id", []string{"5", "13", "14", "15", "16", "17", "18", "19"})
+	del, err := e.DeleteRows(context.Background(), "items", "id", []string{"5", "13", "14", "15", "16", "17", "18", "19"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestMutationIndexMaintenance(t *testing.T) {
 
 	// An upsert lands in the index before publish: an exact-probe duplicate
 	// (angle 1.55, new key) becomes the new winner at its appended row id.
-	if _, err := e.UpsertRows("items", "id", vecTable(t, []int64{99}, []float64{1.55})); err != nil {
+	if _, err := e.UpsertRows(context.Background(), "items", "id", vecTable(t, []int64{99}, []float64{1.55})); err != nil {
 		t.Fatal(err)
 	}
 	if got := topOne(); got != 20 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ejoin/internal/core"
+	"ejoin/internal/obs"
 	"ejoin/internal/plan"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
@@ -35,6 +36,10 @@ type QueryRequest struct {
 	Limit int
 	// Materialize additionally builds the joined output table.
 	Materialize bool
+	// Explain requests EXPLAIN ANALYZE output: the result carries the
+	// per-node plan tree (estimated vs observed cardinality, per-node wall
+	// times) and the full trace. Forces a trace even under DisableTracing.
+	Explain bool
 }
 
 // JoinRequest is the structured query shape: join two registered tables
@@ -71,6 +76,15 @@ type QueryResult struct {
 	Elapsed time.Duration
 	// Table is the materialized join output (only when requested).
 	Table *relational.Table
+	// RequestID is the trace/request id (propagated X-Request-ID or
+	// generated); empty when tracing was disabled.
+	RequestID string
+	// Plan is the EXPLAIN ANALYZE tree (explain requests only).
+	Plan *obs.NodeStats
+	// PlanText is Plan rendered as an indented tree (explain requests only).
+	PlanText string
+	// Trace is the completed trace with every span (explain requests only).
+	Trace *obs.TraceSnapshot
 }
 
 // maxCachedQueryLen bounds the plan cache's key/text size: real query
@@ -103,13 +117,37 @@ func IsBadRequest(err error) bool {
 // number of concurrent callers.
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResult, error) {
 	start := time.Now()
+	tr, ctx := e.startTrace(ctx, queryLabel(req), req.Explain)
+	if req.Explain {
+		// Only explain executions build the per-node analysis tree; plain
+		// traced queries stay span-only, keeping per-query overhead small.
+		ctx = obs.WithAnalyze(ctx)
+	}
 	res, err := e.query(ctx, req, start)
 	if err != nil {
 		e.counters.errors.Add(1)
+		e.finishTrace(tr, "", "", err, nil)
 		return nil, err
 	}
 	e.counters.queries.Add(1)
+	e.observeQuery(res)
+	res.RequestID = tr.ID()
+	if snap := e.finishTrace(tr, res.Strategy, res.Precision, nil, res.Plan); snap != nil && req.Explain {
+		res.Trace = snap
+		res.PlanText = obs.RenderAnalyze(res.Plan)
+	}
 	return res, nil
+}
+
+// queryLabel is the human form of a request shown in the slow-query log.
+func queryLabel(req QueryRequest) string {
+	if req.SQL != "" {
+		return req.SQL
+	}
+	if j := req.Join; j != nil {
+		return fmt.Sprintf("join %s.%s ~ %s.%s", j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
+	}
+	return ""
 }
 
 func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (*QueryResult, error) {
@@ -128,10 +166,14 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 		defer cancel()
 	}
 
+	tr := obs.FromContext(ctx)
+	sp := tr.StartSpan("resolve")
 	q, cacheHit, err := e.resolve(req)
 	if err != nil {
+		sp.End()
 		return nil, badRequest(err)
 	}
+	sp.Attr("cache_hit", boolAttr(cacheHit)).End()
 	// Pin each side to its current MVCC version before planning: table,
 	// visibility set, and (when maintained) index are read once here, so
 	// the query sees one generation snapshot end to end regardless of
@@ -139,12 +181,15 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	e.pinVersions(&q)
 	// Plan validation rejects malformed conditions (threshold outside
 	// [-1,1], k<=0) — the request's fault, unlike execution failures.
+	sp = tr.StartSpan("plan")
 	naive, err := plan.NewNaivePlan(q)
 	if err != nil {
+		sp.End()
 		return nil, badRequest(err)
 	}
 	optimized, err := e.opt.Optimize(naive)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	// Per-table precision knobs override the planner's cost-based choice:
@@ -169,12 +214,16 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 		// giant join amid small ones.
 		weight = e.cfg.AdmissionBytes
 	}
+	sp.Attr("est_rows", optimized.EstRows).Attr("weight_bytes", weight).End()
 
+	sp = tr.StartSpan("admit")
 	release, waited, err := e.admit(ctx, weight)
 	if err != nil {
+		sp.End()
 		e.counters.rejected.Add(1)
 		return nil, err
 	}
+	sp.Attr("waited", boolAttr(waited)).End()
 	defer release()
 	if waited {
 		e.counters.admissionWaits.Add(1)
@@ -183,10 +232,13 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	e.counters.inFlight.Add(1)
 	defer e.counters.inFlight.Add(-1)
 
+	sp = tr.StartSpan("execute")
 	res, err := e.exec.Execute(ctx, optimized)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Attr("matches", int64(len(res.Matches))).End()
 
 	e.recordExecution(optimized.Strategy.String(), effectivePrecision(optimized), res.Stats)
 
@@ -201,18 +253,30 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 		Stats:         res.Stats,
 		PlanCacheHit:  cacheHit,
 		AdmittedBytes: weight,
-		Elapsed:       time.Since(start),
+		Plan:          res.Analysis,
 	}
 	if req.Materialize {
 		limited := *res
 		limited.Matches = matches
+		sp = tr.StartSpan("materialize")
 		tbl, err := plan.MaterializeResult(q, &limited)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("service: materializing result: %w", err)
 		}
+		sp.Attr("rows", int64(tbl.NumRows())).End()
 		out.Table = tbl
 	}
+	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// boolAttr renders a bool as a span attribute value.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // footprintDim is the embedding dimensionality the admission estimate

@@ -35,6 +35,7 @@ import (
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
 	"ejoin/internal/model"
+	"ejoin/internal/obs"
 	"ejoin/internal/plan"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
@@ -113,6 +114,19 @@ type Config struct {
 	// triggers a background index re-cluster (default 0.3; negative
 	// disables re-clustering).
 	ReclusterFraction float64
+	// DisableTracing turns off per-query traces (and with them the
+	// slow-query log); an explicit explain request still traces its own
+	// query. Latency histograms and counters record regardless.
+	DisableTracing bool
+	// SlowQueryThreshold gates admission to the slow-query ring: only
+	// queries at least this slow are retained. 0 (the default) retains
+	// every traced query — the worst-N set is kept regardless.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity (default 128).
+	SlowLogSize int
+	// SlowLogWorst is how many all-time-slowest traces are pinned outside
+	// the ring (default 8).
+	SlowLogWorst int
 }
 
 // TableInfo describes one catalog entry.
@@ -150,6 +164,7 @@ type Engine struct {
 	tablePrec tablePrecisions
 
 	counters counters
+	obs      engineObs
 	start    time.Time
 }
 
@@ -215,7 +230,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		opt.MemoryBudget = cfg.AdmissionBytes
 	}
 
-	return &Engine{
+	eng := &Engine{
 		cfg:     cfg,
 		model:   m,
 		store:   store,
@@ -226,7 +241,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
 		bytes:   newByteSemaphore(cfg.AdmissionBytes),
 		start:   time.Now(),
-	}, nil
+	}
+	eng.obs.slow = obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogWorst, cfg.SlowQueryThreshold)
+	return eng, nil
 }
 
 // Model is the engine's shared embedding model.

@@ -94,8 +94,11 @@ type ServerStats struct {
 	// Join is the cumulative executor work across all served queries
 	// (PeakIntermediateBytes is the high-water mark, not a sum).
 	Join core.Stats `json:"join"`
-	// Strategies counts executions per physical strategy.
-	Strategies map[string]int64 `json:"strategies"`
+	// Strategies counts executions per physical strategy. Omitted until
+	// the first query so the schema is stable: absent or populated, never
+	// an empty object. encoding/json renders map keys sorted, so the
+	// serialized form is deterministic.
+	Strategies map[string]int64 `json:"strategies,omitempty"`
 	// Quant describes the precision ladder: per-table knobs and joins
 	// executed per precision.
 	Quant QuantStats `json:"quant"`
@@ -110,6 +113,9 @@ type ServerStats struct {
 	// Mutation describes the live-update arm: WAL, applied batches,
 	// tombstones, replay, and index re-clustering.
 	Mutation *MutationStats `json:"mutation,omitempty"`
+	// Obs describes the tracing subsystem: traced queries, slow-log
+	// retention, and latency-histogram sample counts.
+	Obs ObsStats `json:"obs"`
 }
 
 // Stats snapshots the engine's statistics.
@@ -137,11 +143,14 @@ func (e *Engine) Stats() ServerStats {
 	}
 	st.Quant.TablePrecisions = e.tablePrec.snapshot()
 	st.Quant.PrecisionSlack = e.cfg.PrecisionSlack
+	st.Obs = e.obsStats()
 	c.mu.Lock()
 	st.Join = c.join
-	st.Strategies = make(map[string]int64, len(c.strategies))
-	for k, v := range c.strategies {
-		st.Strategies[k] = v
+	if len(c.strategies) > 0 {
+		st.Strategies = make(map[string]int64, len(c.strategies))
+		for k, v := range c.strategies {
+			st.Strategies[k] = v
+		}
 	}
 	if len(c.precisions) > 0 {
 		st.Quant.JoinsByPrecision = make(map[string]int64, len(c.precisions))
