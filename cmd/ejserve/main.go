@@ -23,7 +23,9 @@
 // tables' knobs governs their threshold scans), POST /snapshot (flush +
 // compact durable state), GET /stats (includes quantization, mutation,
 // and tracing stats), GET /metrics (Prometheus text exposition), GET
-// /debug/queries (slow-query log: recent + worst traces), GET /debug/pprof/*
+// /debug/queries (slow-query log: recent + worst traces; ?table= and
+// ?min_ms= filter), GET /debug/feedback (the feedback registry: audited
+// recall, learned cardinality corrections, tuner state), GET /debug/pprof/*
 // (with -debug-pprof), GET /healthz (liveness), GET /readyz (readiness:
 // 503 until WAL replay and warm-start complete). Every request carries an
 // X-Request-ID (client-supplied or generated), echoed in the response
@@ -73,6 +75,10 @@ func main() {
 		slowLogSize    = flag.Int("slow-log-size", 0, "slow-query ring capacity (0 = default 128)")
 		disableTracing = flag.Bool("disable-tracing", false, "skip per-query traces (explain requests still trace; histograms and counters stay on)")
 		debugPprof     = flag.Bool("debug-pprof", false, "expose net/http/pprof under /debug/pprof/")
+		recallSLO      = flag.Float64("recall-slo", 0.95, "audited recall@k target the index auto-tuner drives knobs toward")
+		auditFraction  = flag.Float64("audit-fraction", 0.05, "fraction of index-path queries re-run exactly in the background for recall audits (0 = audits and auto-tuning off)")
+		disableTuning  = flag.Bool("disable-auto-tune", false, "record audits but never move index knobs")
+		calibrateCost  = flag.Bool("calibrate-cost", false, "measure this machine's access/compare/embed costs at boot and plan with them instead of the built-in defaults")
 	)
 	flag.Parse()
 
@@ -95,6 +101,11 @@ func main() {
 		DisableTracing:     *disableTracing,
 		SlowQueryThreshold: *slowThreshold,
 		SlowLogSize:        *slowLogSize,
+
+		RecallSLO:       *recallSLO,
+		AuditFraction:   *auditFraction,
+		DisableAutoTune: *disableTuning,
+		CalibrateCost:   *calibrateCost,
 	}
 
 	srv := newServer(*debugPprof)
@@ -132,6 +143,14 @@ func main() {
 				log.Printf("ejserve: mutation: wal replayed %d records (%d skipped, %d torn bytes truncated)",
 					m.ReplayedRecords, m.SkippedRecords, m.WAL.TruncatedBytes)
 			}
+		}
+		if p := engine.CostParams(); engine.Calibrated() {
+			log.Printf("ejserve: cost model calibrated: access=%.3g compare=%.3g model=%.3g (per-tuple units)",
+				p.Access, p.Compare, p.Model)
+		}
+		if *auditFraction > 0 {
+			log.Printf("ejserve: feedback: auditing %.1f%% of index-path queries against recall SLO %.2f (auto-tune %v)",
+				*auditFraction*100, *recallSLO, !*disableTuning)
 		}
 		srv.publish(engine)
 		log.Printf("ejserve: ready")

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ func newServer(debugPprof bool) *server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.handleSlowQueries)
+	s.mux.HandleFunc("GET /debug/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /tables", s.handleListTables)
 	s.mux.HandleFunc("POST /tables", s.handleCreateTable)
 	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
@@ -148,9 +150,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleSlowQueries dumps the slow-query log: recent traces over the
 // threshold plus the worst-N ever, with spans and (for explain-traced
-// queries) the analyzed plan.
+// queries) the analyzed plan. ?table=<name> keeps only traces whose
+// query text mentions the table; ?min_ms=<n> keeps only traces at least
+// that slow.
 func (s *server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng().SlowQueries())
+	dump := s.eng().SlowQueries()
+	table := r.URL.Query().Get("table")
+	var minElapsed time.Duration
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, r, http.StatusBadRequest, "min_ms must be a non-negative number, got %q", v)
+			return
+		}
+		minElapsed = time.Duration(ms * float64(time.Millisecond))
+	}
+	if table != "" || minElapsed > 0 {
+		dump = dump.Filter(table, minElapsed)
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// handleFeedback dumps the feedback registry: per-table audited recall
+// and knob state, per-join-pair learned corrections and q-error, and the
+// loop's counters.
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng().FeedbackDump())
 }
 
 func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {

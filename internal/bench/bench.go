@@ -102,6 +102,7 @@ func Registry() []Experiment {
 		expServe(),
 		expPersist(),
 		expMutate(),
+		expTune(),
 		expBlockSize(),
 		expHNSWRecall(),
 		expIVF(),

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17",
 		"lsh", "fp16", "modelcache", "cache", "serve", "persist", "blocksize", "hnswrecall", "ivf",
-		"quant", "mutate",
+		"quant", "mutate", "tune",
 	}
 	names := map[string]bool{}
 	for _, e := range Registry() {

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ejoin/internal/cost"
+	"ejoin/internal/mat"
+	"ejoin/internal/relational"
+	"ejoin/internal/service"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// tuneReport is the machine-readable result (BENCH_tune.json).
+type tuneReport struct {
+	CorpusRows int `json:"corpus_rows"`
+	QueryRows  int `json:"query_rows"`
+	K          int `json:"k"`
+	// The index knob (IVF nprobe) before and after the closed loop ran.
+	KnobBefore int `json:"knob_before"`
+	KnobAfter  int `json:"knob_after"`
+	// End-to-end recall@k and p95 latency of the served top-k join, at the
+	// deliberately starved knob and at the auto-tuned one.
+	RecallBefore float64 `json:"recall_before"`
+	RecallAfter  float64 `json:"recall_after"`
+	P95BeforeMs  float64 `json:"p95_before_ms"`
+	P95AfterMs   float64 `json:"p95_after_ms"`
+	// Loop accounting: audits completed and knob moves applied.
+	Audits     int64 `json:"audits"`
+	TunerMoves int64 `json:"tuner_moves"`
+	// TuneIterations is how many query+audit rounds the loop ran before the
+	// audited recall met the SLO (or the iteration cap).
+	TuneIterations int     `json:"tune_iterations"`
+	RecallSLO      float64 `json:"recall_slo"`
+}
+
+// expTune measures the feedback loop end to end: an IVF-indexed top-k
+// join is served with the probe knob deliberately starved (nprobe=1),
+// the online auditor detects the recall shortfall by re-running sampled
+// probes exactly, and the SLO tuner walks the knob up until audited
+// recall@k clears the target — trading the starved setting's latency for
+// the accuracy the SLO demands. Reported: recall@k and p95 before/after.
+func expTune() Experiment {
+	return Experiment{
+		Name:        "tune",
+		Paper:       "Feedback auto-tuning (new)",
+		Description: "Recall@k and p95 of an IVF top-k join before and after the audit-driven SLO tuner raises nprobe.",
+		Run: func(w io.Writer, cfg Config) error {
+			const slo = 0.95
+			rep := tuneReport{
+				CorpusRows: cfg.size(600),
+				QueryRows:  16,
+				K:          10,
+				RecallSLO:  slo,
+			}
+			if err := tuneLoop(&rep, cfg, slo); err != nil {
+				return err
+			}
+
+			t := newTable("Phase", "nprobe", "recall@10", "p95 [ms]")
+			t.addRow("starved", fmt.Sprint(rep.KnobBefore), fmt.Sprintf("%.3f", rep.RecallBefore), fmt.Sprintf("%.2f", rep.P95BeforeMs))
+			t.addRow("auto-tuned", fmt.Sprint(rep.KnobAfter), fmt.Sprintf("%.3f", rep.RecallAfter), fmt.Sprintf("%.2f", rep.P95AfterMs))
+			t.print(w)
+			fmt.Fprintf(w, "\n%d audits, %d tuner moves, %d loop iterations (SLO %.2f)\n",
+				rep.Audits, rep.TunerMoves, rep.TuneIterations, rep.RecallSLO)
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_tune.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "\nwrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}
+
+// indexCostParams forces the planner onto the index path at bench scale:
+// the default probe constants model a cold ANN structure and only favor
+// probing past ~10^5 rows, so the knob under test would never be
+// exercised with them.
+func indexCostParams() cost.Params {
+	p := cost.DefaultParams()
+	p.ProbeHop = 0.1
+	p.ProbeWidth = 1.01
+	return p
+}
+
+// tuneLoop builds the engine, measures the starved setting, drives the
+// audit/tune loop, and measures the tuned setting.
+func tuneLoop(rep *tuneReport, cfg Config, slo float64) error {
+	const dim = 16
+	corpus := workload.Vectors(cfg.Seed+20, rep.CorpusRows, dim)
+	// Queries are perturbed corpus rows: near-duplicates whose true top-k
+	// concentrates in one IVF list's neighborhood, the regime where a
+	// starved nprobe visibly loses recall.
+	queries := workload.Vectors(cfg.Seed+21, rep.QueryRows, dim)
+	for i := 0; i < rep.QueryRows; i++ {
+		src := corpus.Row((i * 37) % rep.CorpusRows)
+		dst := queries.Row(i)
+		for d := 0; d < dim; d++ {
+			dst[d] = src[d] + 0.05*dst[d]
+		}
+		vec.Normalize(dst)
+	}
+
+	engine, err := service.Open(service.Config{
+		Threads:            cfg.threads(),
+		IndexTables:        true,
+		CostParams:         indexCostParams(),
+		AuditFraction:      1,
+		RecallSLO:          slo,
+		SlowQueryThreshold: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	if err := engine.RegisterTable("corpus", matTable(corpus)); err != nil {
+		return err
+	}
+	if err := engine.RegisterTable("queries", matTable(queries)); err != nil {
+		return err
+	}
+
+	exact := make([]map[int]bool, rep.QueryRows)
+	for i := range exact {
+		exact[i] = bruteTopK(corpus, queries.Row(i), rep.K)
+	}
+	join := &service.JoinRequest{
+		LeftTable: "queries", LeftColumn: "vec",
+		RightTable: "corpus", RightColumn: "vec",
+		Kind: "topk", K: rep.K,
+	}
+	// One served join → per-query-row recall against brute force, timed.
+	measure := func(rounds int) (recall, p95ms float64, err error) {
+		var lat []time.Duration
+		hits, total := 0, 0
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			res, qerr := engine.Query(context.Background(), service.QueryRequest{Join: join})
+			if qerr != nil {
+				return 0, 0, qerr
+			}
+			lat = append(lat, time.Since(t0))
+			if r > 0 {
+				continue // score once; later rounds only sample latency
+			}
+			if res.Strategy != cost.StrategyIndex.String() {
+				return 0, 0, fmt.Errorf("bench: tune needs the index path, planner chose %s", res.Strategy)
+			}
+			for _, m := range res.Matches {
+				if exact[m.Left][m.Right] {
+					hits++
+				}
+			}
+			total = rep.QueryRows * rep.K
+		}
+		engine.WaitForAudits()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p95 := lat[(len(lat)*95)/100]
+		return float64(hits) / float64(total), float64(p95.Microseconds()) / 1000, nil
+	}
+
+	// Starve the knob, then measure. The audits these rounds enqueue are
+	// the loop's first evidence; the tuner may start moving right after.
+	if rep.KnobBefore, err = engine.SetIndexKnob("corpus", 1); err != nil {
+		return err
+	}
+	rounds := 20
+	if cfg.Quick {
+		rounds = 8
+	}
+	if rep.RecallBefore, rep.P95BeforeMs, err = measure(rounds); err != nil {
+		return err
+	}
+
+	// Drive the loop: each iteration serves the join (sampling one audit)
+	// and waits for the audit — and any knob move it triggers — to land.
+	maxIters := 120
+	if cfg.Quick {
+		maxIters = 60
+	}
+	for i := 0; i < maxIters; i++ {
+		if _, err := engine.Query(context.Background(), service.QueryRequest{Join: join}); err != nil {
+			return err
+		}
+		engine.WaitForAudits()
+		rep.TuneIterations = i + 1
+		st := engine.Stats().Feedback
+		if st.TunerMoves > 0 {
+			if _, knob, kerr := engine.IndexKnob("corpus"); kerr == nil && knob > 1 {
+				if dumpRecallMet(engine, "corpus", slo) {
+					break
+				}
+			}
+		}
+	}
+
+	if rep.RecallAfter, rep.P95AfterMs, err = measure(rounds); err != nil {
+		return err
+	}
+	_, rep.KnobAfter, err = engine.IndexKnob("corpus")
+	if err != nil {
+		return err
+	}
+	st := engine.Stats().Feedback
+	rep.Audits = st.Audits
+	rep.TunerMoves = st.TunerMoves
+	return nil
+}
+
+// dumpRecallMet reports whether the registry's audited recall estimate at
+// the table's current knob meets the SLO.
+func dumpRecallMet(e *service.Engine, table string, slo float64) bool {
+	for name, ts := range e.FeedbackDump().Tables {
+		if name == table && ts.Knob > 0 {
+			if r, ok := ts.RecallByKnob[fmt.Sprint(ts.Knob)]; ok {
+				return r >= slo
+			}
+		}
+	}
+	return false
+}
+
+// matTable wraps a matrix as an {id:int64, vec:vector} table.
+func matTable(m *mat.Matrix) *relational.Table {
+	vc := &relational.VectorColumn{Dim: m.Cols()}
+	ids := make([]int64, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		ids[i] = int64(i)
+		vc.Data = append(vc.Data, m.Row(i)...)
+	}
+	tbl, err := relational.NewTable(
+		relational.Schema{{Name: "id", Type: relational.Int64}, {Name: "vec", Type: relational.Vector}},
+		[]relational.Column{relational.Int64Column(ids), vc},
+	)
+	if err != nil {
+		panic(err) // schema and columns are constructed consistently above
+	}
+	return tbl
+}
+
+// bruteTopK is exact top-k by cosine over unit-row data.
+func bruteTopK(data *mat.Matrix, q []float32, k int) map[int]bool {
+	nq := vec.Clone(q)
+	vec.Normalize(nq)
+	type scored struct {
+		id  int
+		sim float32
+	}
+	var best []scored
+	for i := 0; i < data.Rows(); i++ {
+		s := vec.Dot(vec.KernelSIMD, nq, data.Row(i))
+		pos := len(best)
+		for pos > 0 && best[pos-1].sim < s {
+			pos--
+		}
+		if pos < k {
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{id: i, sim: s}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make(map[int]bool, len(best))
+	for _, b := range best {
+		out[b.id] = true
+	}
+	return out
+}

@@ -44,6 +44,10 @@ type PQIndex struct {
 	// pass reads. It aliases caller storage and is never serialized:
 	// re-attach after Load.
 	rerank *mat.Matrix
+	// rerankC is the default exact-rerank candidate pool for searches
+	// without an explicit RerankC (0 means DefaultRerankFactor·k). The
+	// recall-SLO tuner adjusts it via SetRerankC.
+	rerankC int
 
 	distanceCalls atomic.Int64
 	rerankNanos   atomic.Int64
@@ -136,6 +140,44 @@ func (ix *PQIndex) SizeBytes() int64 {
 // HasRerank reports whether exact rerank vectors are attached.
 func (ix *PQIndex) HasRerank() bool { return ix.rerank != nil }
 
+// RerankC returns the default exact-rerank candidate pool; 0 means
+// searches fall back to DefaultRerankFactor·k.
+func (ix *PQIndex) RerankC() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rerankC
+}
+
+// SetRerankC changes the default rerank pool (floored at 1; the search
+// path still widens it to at least k) and returns the applied value.
+// Safe against concurrent searches — this is the knob the recall-SLO
+// tuner adjusts.
+func (ix *PQIndex) SetRerankC(c int) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if c < 1 {
+		c = 1
+	}
+	ix.rerankC = c
+	return c
+}
+
+// Knob identifies the rerank pool as the index's tunable knob. An unset
+// pool reports the DefaultRerankFactor·10 starting point so the tuner
+// has a concrete value to step from.
+func (ix *PQIndex) Knob() (string, int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	c := ix.rerankC
+	if c <= 0 {
+		c = DefaultRerankFactor * 10
+	}
+	return "rerank_c", c
+}
+
+// SetKnob applies a new rerank pool (vindex.TunableIndex).
+func (ix *PQIndex) SetKnob(v int) int { return ix.SetRerankC(v) }
+
 // AttachRerank attaches the exact vectors the rerank pass scores against:
 // one unit-norm row per indexed vector, in id order (the same data the
 // index was built over, normalized). The matrix is referenced, not
@@ -193,6 +235,9 @@ func (ix *PQIndex) Search(q []float32, k int, opts PQSearchOptions) ([]Result, e
 	pool := k
 	if ix.rerank != nil {
 		pool = opts.RerankC
+		if pool <= 0 {
+			pool = ix.rerankC // under the lock: the tuner may adjust it
+		}
 		if pool <= 0 {
 			pool = DefaultRerankFactor * k
 		}
@@ -280,3 +325,4 @@ func (ix *PQIndex) TopK(q []float32, k, beam int, filter *relational.Bitmap) ([]
 }
 
 var _ vindex.Index = (*PQIndex)(nil)
+var _ vindex.TunableIndex = (*PQIndex)(nil)

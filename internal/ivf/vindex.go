@@ -20,3 +20,4 @@ func (ix *Index) TopK(q []float32, k, beam int, filter *relational.Bitmap) ([]vi
 }
 
 var _ vindex.Index = (*Index)(nil)
+var _ vindex.TunableIndex = (*Index)(nil)

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strconv"
@@ -55,6 +56,40 @@ func (h *Histogram) Snapshot() (counts [HistBuckets + 1]uint64, sumNS int64) {
 		counts[i] = h.counts[i].Load()
 	}
 	return counts, h.sumNS.Load()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound
+// of the bucket holding that rank — the same upper-bound convention
+// Prometheus' histogram_quantile uses, so dashboards and in-process
+// reads agree. An empty histogram reports 0; ranks landing in the +Inf
+// overflow bucket report the largest finite bound (the estimate is a
+// floor there, not an interpolation).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, _ := h.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			return histBound(i)
+		}
+	}
+	return histBound(HistBuckets - 1)
 }
 
 // Count is the total number of observations.
@@ -183,6 +218,29 @@ func (mw *MetricsWriter) HistogramSamples(name string, labels []string, h *Histo
 func (mw *MetricsWriter) Histogram(name, help string, h *Histogram) {
 	mw.Family(name, "histogram", help)
 	mw.HistogramSamples(name, nil, h)
+}
+
+// FloatHistogram writes a complete histogram family from generic
+// snapshot data: counts has one entry per bound plus a final implicit
+// +Inf bucket, and sum is the running sum of observed values. This is
+// the exposition hook for histograms over unitless values (recall,
+// q-error) that the duration-bucketed Histogram cannot hold.
+func (mw *MetricsWriter) FloatHistogram(name, help string, bounds []float64, counts []uint64, sum float64) {
+	mw.Family(name, "histogram", help)
+	var cum uint64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		mw.printf("%s_bucket%s %d\n", name, renderLabels([]string{"le", le}), cum)
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	mw.printf("%s_bucket%s %d\n", name, renderLabels([]string{"le", "+Inf"}), cum)
+	mw.printf("%s_sum %s\n", name, formatValue(sum))
+	mw.printf("%s_count %d\n", name, cum)
 }
 
 // HistogramVec writes a complete histogram family with one series per

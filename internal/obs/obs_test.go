@@ -321,6 +321,131 @@ func TestAttrsDetail(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// A single sample answers every quantile with its bucket's bound, and
+	// out-of-range q clamps instead of panicking.
+	h.Observe(3 * time.Millisecond) // 3000µs -> bucket bound 4096µs
+	want := 4096 * time.Microsecond
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("single-sample Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+
+	// Samples past the last finite bound land in +Inf; the quantile reports
+	// the last finite bound rather than inventing an infinite duration.
+	h = Histogram{}
+	h.Observe(time.Hour)
+	if got := h.Quantile(1); got != histBound(HistBuckets-1) {
+		t.Fatalf("overflow Quantile(1) = %v, want last finite bound %v", got, histBound(HistBuckets-1))
+	}
+
+	// Mixed population: the median of 9x1µs + 1x1h is the 1µs bucket.
+	h = Histogram{}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Hour)
+	if got := h.Quantile(0.5); got != time.Microsecond {
+		t.Fatalf("median = %v, want 1µs", got)
+	}
+	if got := h.Quantile(1); got != histBound(HistBuckets-1) {
+		t.Fatalf("max = %v, want last finite bound", got)
+	}
+}
+
+func TestFloatHistogramRendersValidExposition(t *testing.T) {
+	var b strings.Builder
+	mw := NewMetricsWriter(&b)
+	mw.FloatHistogram("ejoin_feedback_audit_recall", "Audited recall@k.",
+		[]float64{0.5, 0.9, 0.99}, []uint64{1, 2, 3, 4}, 7.5)
+	if err := mw.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := b.String()
+	for _, frag := range []string{`le="0.5"} 1`, `le="0.9"} 3`, `le="0.99"} 6`, `le="+Inf"} 10`,
+		"ejoin_feedback_audit_recall_sum 7.5", "ejoin_feedback_audit_recall_count 10"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("float histogram failed validation: %v\n%s", err, out)
+	}
+}
+
+func TestSlowLogFilter(t *testing.T) {
+	mk := func(id, query string, d time.Duration) *TraceSnapshot {
+		return &TraceSnapshot{ID: id, Query: query, Elapsed: d}
+	}
+	d := SlowLogDump{
+		Recorded: 3,
+		Recent: []*TraceSnapshot{
+			mk("a", "SELECT * FROM Catalog JOIN feed", 5*time.Millisecond),
+			mk("b", "SELECT * FROM orders JOIN feed", 50*time.Millisecond),
+			mk("c", "tune corpus: nprobe 1 -> 2", time.Millisecond),
+		},
+		Worst: []*TraceSnapshot{
+			mk("b", "SELECT * FROM orders JOIN feed", 50*time.Millisecond),
+		},
+	}
+
+	// Substring match is case-insensitive on the query text.
+	f := d.Filter("catalog", 0)
+	if len(f.Recent) != 1 || f.Recent[0].ID != "a" || len(f.Worst) != 0 {
+		t.Fatalf("substring filter wrong: recent=%+v worst=%+v", f.Recent, f.Worst)
+	}
+	// Elapsed floor applies to both sections.
+	f = d.Filter("", 10*time.Millisecond)
+	if len(f.Recent) != 1 || f.Recent[0].ID != "b" || len(f.Worst) != 1 {
+		t.Fatalf("min-elapsed filter wrong: recent=%+v worst=%+v", f.Recent, f.Worst)
+	}
+	// Both together; counters pass through untouched.
+	f = d.Filter("orders", 100*time.Millisecond)
+	if len(f.Recent) != 0 || len(f.Worst) != 0 || f.Recorded != 3 {
+		t.Fatalf("combined filter wrong: %+v", f)
+	}
+	// The zero filter keeps everything (and the original is not mutated).
+	f = d.Filter("", 0)
+	if len(f.Recent) != 3 || len(d.Recent) != 3 {
+		t.Fatalf("no-op filter changed contents: got %d, original %d", len(f.Recent), len(d.Recent))
+	}
+}
+
+// TestHistogramVecConcurrentMerge hammers a HistogramVec with new and
+// existing keys from many goroutines while readers iterate and render —
+// the copy-on-write map swap inside With must hold up under -race.
+func TestHistogramVecConcurrentMerge(t *testing.T) {
+	var v HistogramVec
+	const goroutines, perG, keys = 8, 500, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v.With(fmt.Sprintf("k%d", (g+i)%keys)).Observe(time.Microsecond)
+				if i%50 == 0 {
+					v.Each(func(string, *Histogram) {})
+					var b strings.Builder
+					NewMetricsWriter(&b).HistogramVec("x_seconds", "x", "k", &v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	v.Each(func(_ string, h *Histogram) { total += h.Count() })
+	if total != goroutines*perG {
+		t.Fatalf("total observations = %d, want %d", total, goroutines*perG)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var v HistogramVec

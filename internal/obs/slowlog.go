@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"time"
 )
@@ -113,6 +114,31 @@ func (l *SlowLog) Dump() SlowLogDump {
 		out.Recent = append(out.Recent, l.ring[((l.next-1-i)%n+n)%n])
 	}
 	return out
+}
+
+// Filter returns a copy of the dump keeping only traces whose query text
+// contains substr (case-insensitive; "" keeps all) and whose elapsed time
+// is at least minElapsed. Backs /debug/queries' table= and min_ms=
+// parameters; query texts carry table names, so substring match is the
+// table filter without a schema change to TraceSnapshot.
+func (d SlowLogDump) Filter(substr string, minElapsed time.Duration) SlowLogDump {
+	keep := func(in []*TraceSnapshot) []*TraceSnapshot {
+		out := make([]*TraceSnapshot, 0, len(in))
+		needle := strings.ToLower(substr)
+		for _, s := range in {
+			if s == nil || s.Elapsed < minElapsed {
+				continue
+			}
+			if needle != "" && !strings.Contains(strings.ToLower(s.Query), needle) {
+				continue
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	d.Recent = keep(d.Recent)
+	d.Worst = keep(d.Worst)
+	return d
 }
 
 // Counts reports (ring entries, worst entries, recorded total).

@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"math"
+
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
 	"ejoin/internal/quant"
@@ -36,6 +38,19 @@ type Optimizer struct {
 	// MemoryBudget bounds the resident embedding bytes precision selection
 	// plans for (<=0 = unconstrained).
 	MemoryBudget int64
+	// Feedback, when set, supplies multiplicative cardinality corrections
+	// learned from executed queries; the optimizer scales its selectivity
+	// and output estimates by them before cost comparison, so strategy,
+	// precision, and EXPLAIN cardinalities track the observed workload.
+	Feedback FeedbackSource
+}
+
+// FeedbackSource is the planner's view of the runtime feedback registry:
+// learned observed/estimated ratios for a join of leftTable against
+// rightTable (in the query's original orientation). Implementations must
+// return neutral factors for pairs they have no evidence on.
+type FeedbackSource interface {
+	Corrections(leftTable, rightTable string) cost.Corrections
 }
 
 // NewOptimizer returns an optimizer with default cost parameters.
@@ -61,8 +76,21 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 	}
 	// Output cardinality estimate, from the original (pre-reorder) left:
 	// match counts are orientation-independent, and the pre-swap left is
-	// the side the condition is phrased around.
-	out.EstRows = estimateJoinRows(out.Spec, out.Left)
+	// the side the condition is phrased around. The static heuristic is
+	// kept alongside the feedback-corrected value so executed queries can
+	// score both against the observed output.
+	corr := cost.NeutralCorrections()
+	if o.Feedback != nil {
+		corr = o.Feedback.Corrections(inputName(out.Left), inputName(out.Right)).Clamped()
+	}
+	out.StaticRows = estimateJoinRows(out.Spec, out.Left)
+	out.EstRows = out.StaticRows
+	if corr.Rows != 1 && out.EstRows > 0 {
+		out.EstRows = int64(math.Round(float64(out.StaticRows) * corr.Rows))
+		if out.EstRows < 1 {
+			out.EstRows = 1
+		}
+	}
 
 	// Rule 2 (E-θ-Join equivalence): R ⋈_{E,µ,θ} S ⇔ E_µ(R) ⋈_θ E_µ(S) —
 	// embeddings are computed once per input, not once per compared pair.
@@ -80,6 +108,12 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 		out.Swapped = true
 		lr, rr = rr, lr
 	}
+	// Corrections were fetched in the original orientation; if the reorder
+	// rule swapped the inputs, swap the side factors with them.
+	ccorr := corr
+	if out.Swapped {
+		ccorr.SelLeft, ccorr.SelRight = corr.SelRight, corr.SelLeft
+	}
 
 	// Rule 4: cost-based access path selection (Table I, Figures 15-17).
 	if o.ForceStrategy != nil {
@@ -95,7 +129,7 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 		}
 		baseL, baseR := baseRows(out.Left), baseRows(out.Right)
 		hitL, hitR := o.expectedHitRatio(out.Left), o.expectedHitRatio(out.Right)
-		choice := params.ChooseJoinStrategyWarm(baseL, baseR, selL, selR, k, hasIndex(out.Right), hitL, hitR)
+		choice := params.ChooseJoinStrategyCorrected(baseL, baseR, selL, selR, k, hasIndex(out.Right), hitL, hitR, ccorr)
 		// An index join without an index would have to build one; allow it
 		// only when the right side actually carries an index.
 		if choice.Strategy == cost.StrategyIndex && !hasIndex(out.Right) {
@@ -116,7 +150,7 @@ func (o *Optimizer) Optimize(root *EJoin) (*EJoin, error) {
 			if d := inputDim(out.Right); d > dim {
 				dim = d
 			}
-			pc := params.ChooseJoinPrecision(lr, rr, dim, o.MemoryBudget, o.PrecisionSlack)
+			pc := params.ChooseJoinPrecisionCorrected(lr, rr, dim, o.MemoryBudget, o.PrecisionSlack, ccorr)
 			out.Precision = pc.Precision
 			out.PrecisionEstimates = pc.Estimates
 			out.PrecisionSlack = o.PrecisionSlack
@@ -282,4 +316,13 @@ func findScan(n Node) *Scan {
 func hasIndex(n Node) bool {
 	s := findScan(n)
 	return s != nil && s.Ref.Index != nil
+}
+
+// inputName is the catalog name of an input subtree's base table.
+func inputName(n Node) string {
+	s := findScan(n)
+	if s == nil {
+		return ""
+	}
+	return s.Ref.Name
 }

@@ -164,10 +164,16 @@ type EJoin struct {
 	Strategy cost.Strategy
 	// EstRows is the planner's output cardinality estimate (-1 = none).
 	// Top-k joins emit exactly k matches per surviving left row; threshold
-	// joins use the crude one-match-per-left-row heuristic — this engine
-	// has no similarity histograms yet, and EXPLAIN ANALYZE's est-vs-obs
-	// gap is the recording that a future adaptive planner will close.
+	// joins start from the crude one-match-per-left-row heuristic, then
+	// scale it by the feedback registry's learned observed/estimated
+	// correction when the optimizer has one — the est-vs-obs gap EXPLAIN
+	// ANALYZE records is what feeds that loop.
 	EstRows int64
+	// StaticRows is the uncorrected heuristic estimate EstRows started
+	// from; the two differ only when cardinality feedback applied a
+	// correction. The service compares both against the observed match
+	// count to measure the q-error the feedback removed.
+	StaticRows int64
 	// Estimates holds the cost model's per-strategy estimates.
 	Estimates map[cost.Strategy]float64
 	// Precision is the storage/compute precision the scan executes at
@@ -251,13 +257,15 @@ func NewNaivePlan(q Query) (*EJoin, error) {
 		return n
 	}
 	left, right := build(q.Left), build(q.Right)
+	est := estimateJoinRows(q.Join, left)
 	return &EJoin{
-		Left:     left,
-		Right:    right,
-		Spec:     q.Join,
-		Prefetch: false,
-		Strategy: cost.StrategyNaiveNLJ,
-		EstRows:  estimateJoinRows(q.Join, left),
+		Left:       left,
+		Right:      right,
+		Spec:       q.Join,
+		Prefetch:   false,
+		Strategy:   cost.StrategyNaiveNLJ,
+		EstRows:    est,
+		StaticRows: est,
 	}, nil
 }
 

@@ -112,6 +112,11 @@ func Open(cfg Config) (*Engine, error) {
 		} else {
 			e.tablePrec.set(entry.Name, p)
 		}
+		// Restore the tuned index knob likewise: attachIndex re-applies it
+		// when the table's index builds below.
+		if entry.TunedKnob > 0 {
+			e.feedback.SeedKnob(entry.Name, "", "", entry.TunedKnob)
+		}
 		kept = append(kept, *entry)
 		d.loadedTables++
 	}
@@ -228,6 +233,7 @@ func (e *Engine) DataDir() string {
 // engine Closes as a no-op. In-flight queries are not interrupted — stop
 // accepting queries (e.g. drain HTTP) before closing.
 func (e *Engine) Close() error {
+	e.stopAuditor()
 	d := e.durable
 	if d == nil {
 		return nil
@@ -362,6 +368,7 @@ func (e *Engine) Snapshot() (SnapshotInfo, error) {
 			Rows:        cur.Table.NumRows(),
 			Cols:        cur.Table.NumCols(),
 			Precision:   manifestPrecision(e.tablePrec.get(name)),
+			TunedKnob:   e.tunedKnobFor(name),
 			Incarnation: ts.mt.Incarnation,
 			RowGen:      cur.Gen,
 		})
@@ -449,6 +456,7 @@ func (e *Engine) persistTable(name string, t *relational.Table) error {
 		Rows:        t.NumRows(),
 		Cols:        t.NumCols(),
 		Precision:   manifestPrecision(e.tablePrec.get(name)),
+		TunedKnob:   e.tunedKnobFor(name),
 		Incarnation: inc,
 	})
 	if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
@@ -497,6 +505,40 @@ func (e *Engine) persistTablePrecision(name string, p quant.Precision) error {
 	}
 	// Table registered but not persisted (e.g. a prior persist failure):
 	// the knob is live in memory; nothing durable to update.
+	return nil
+}
+
+// tunedKnobFor is the manifest's view of a table's tuner state: the
+// tuned knob value, or 0 when the tuner has never moved it.
+func (e *Engine) tunedKnobFor(name string) int {
+	if knob, ok := e.feedback.TunedKnob(name); ok {
+		return knob
+	}
+	return 0
+}
+
+// persistTableKnob mirrors one tuner move into the manifest, so a restart
+// resumes from the tuned setting instead of re-learning it. Memory-only
+// engines return nil immediately.
+func (e *Engine) persistTableKnob(name string, knob int) error {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	name = strings.ToLower(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.manifest.Tables {
+		if d.manifest.Tables[i].Name == name {
+			d.manifest.Tables[i].TunedKnob = knob
+			if err := d.manifest.Write(d.layout.ManifestPath()); err != nil {
+				return fmt.Errorf("%w: manifest: %v", ErrPersist, err)
+			}
+			return nil
+		}
+	}
+	// Table registered but not persisted: the knob is live in memory;
+	// nothing durable to update.
 	return nil
 }
 

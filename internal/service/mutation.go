@@ -89,6 +89,9 @@ func newIncarnation() uint64 {
 // installMutable wraps a just-registered table in mutation state with a
 // fresh incarnation, returning it for manifest persistence.
 func (e *Engine) installMutable(name string, t *relational.Table) *tableState {
+	// Fresh contents invalidate whatever the feedback loop learned about
+	// the predecessor (attachIndex below re-registers the knob state).
+	e.feedback.Drop(name)
 	ts := &tableState{mt: mutation.NewTable(strings.ToLower(name), newIncarnation(), t, nil, 0)}
 	e.attachIndex(ts, t)
 	e.mut.install(name, ts)
@@ -119,6 +122,14 @@ func (e *Engine) attachIndex(ts *tableState, t *relational.Table) {
 	if err != nil {
 		return
 	}
+	// A rebuilt index starts at the config default; if the SLO tuner (or a
+	// manifest restore) settled on a knob for this table, re-apply it so
+	// rebuilds don't silently forget tuned recall.
+	if knob, ok := e.feedback.TunedKnob(ts.mt.Name); ok {
+		idx.SetKnob(knob)
+	}
+	kn, kv := idx.Knob()
+	e.feedback.SetCurrent(ts.mt.Name, "ivf", kn, kv)
 	ts.idx = mutation.NewIndexState(idx)
 	ts.vecCol = col
 }

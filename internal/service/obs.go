@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"ejoin/internal/feedback"
 	"ejoin/internal/obs"
 )
 
@@ -153,13 +154,32 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	mw.Counter("ejoin_traced_queries_total", "Queries that carried a trace.", float64(ob.TracedQueries))
 	mw.Gauge("ejoin_slow_log_entries", "Traces retained in the slow-query ring.", float64(ob.SlowLogEntries))
 
+	fb := st.Feedback
+	mw.Counter("ejoin_feedback_audits_total", "Completed online recall audits.", float64(fb.Audits))
+	mw.Counter("ejoin_feedback_audits_dropped_total", "Audit samples shed under queue pressure or audit failure.", float64(fb.AuditsDropped))
+	mw.Counter("ejoin_feedback_tuner_moves_total", "Index knob changes applied by the SLO tuner.", float64(fb.TunerMoves))
+	mw.Counter("ejoin_feedback_regret_total", "Queries whose post-hoc observed costs favored a different strategy.", float64(fb.Regret))
+
 	mw.Histogram("ejoin_query_duration_seconds",
 		"End-to-end latency of served queries.", &e.obs.latency)
 	mw.HistogramVec("ejoin_query_strategy_duration_seconds",
 		"Query latency split by physical join strategy.", "strategy", &e.obs.byStrategy)
 	mw.HistogramVec("ejoin_query_precision_duration_seconds",
 		"Query latency split by effective scan precision.", "precision", &e.obs.byPrecision)
+
+	writeFloatHist(mw, "ejoin_feedback_audit_recall",
+		"Observed recall@k from sampled index-path audits.", e.feedback.RecallHist)
+	writeFloatHist(mw, "ejoin_feedback_qerror_corrected",
+		"Q-error of the feedback-corrected output cardinality estimate.", e.feedback.QErrHist)
+	writeFloatHist(mw, "ejoin_feedback_qerror_static",
+		"Q-error of the static (uncorrected) output cardinality estimate.", e.feedback.QErrStaticHist)
 	return mw.Err()
+}
+
+// writeFloatHist renders one of the feedback registry's value histograms.
+func writeFloatHist(mw *obs.MetricsWriter, name, help string, h *feedback.FloatHist) {
+	bounds, counts, sum, _ := h.Snapshot()
+	mw.FloatHistogram(name, help, bounds, counts, sum)
 }
 
 // countsByLabel renders one counter family with a sample per label value,

@@ -21,7 +21,12 @@ func TestTracingOverheadPaired(t *testing.T) {
 		t.Skip("paired timing measurement; skipped in -short")
 	}
 	build := func(disable bool) *Engine {
-		e, err := NewEngine(Config{Dim: 64, DisableTracing: disable, SlowQueryThreshold: time.Hour})
+		// The traced engine audits at fraction 1, so the measured delta
+		// includes the full feedback path: per-query cardinality recording
+		// plus audit sampling (this workload's threshold joins never take
+		// the index path, so no brute-force re-runs are enqueued — those
+		// run off the request path regardless).
+		e, err := NewEngine(Config{Dim: 64, DisableTracing: disable, SlowQueryThreshold: time.Hour, AuditFraction: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

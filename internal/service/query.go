@@ -241,6 +241,12 @@ func (e *Engine) query(ctx context.Context, req QueryRequest, start time.Time) (
 	sp.Attr("matches", int64(len(res.Matches))).End()
 
 	e.recordExecution(optimized.Strategy.String(), effectivePrecision(optimized), res.Stats)
+	// Feedback rides the traced path only, like the rest of per-query
+	// observability: untraced deployments opt out of its (small) cost too.
+	if tr != nil {
+		e.recordFeedback(&q, optimized, res)
+		e.maybeAudit(&q, optimized, res)
+	}
 
 	matches := res.Matches
 	if req.Limit > 0 && len(matches) > req.Limit {

@@ -34,6 +34,7 @@ import (
 	"ejoin/internal/core"
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
+	"ejoin/internal/feedback"
 	"ejoin/internal/model"
 	"ejoin/internal/obs"
 	"ejoin/internal/plan"
@@ -127,6 +128,22 @@ type Config struct {
 	// SlowLogWorst is how many all-time-slowest traces are pinned outside
 	// the ring (default 8).
 	SlowLogWorst int
+	// RecallSLO is the audited recall@k target the auto-tuner steers
+	// index knobs toward (default 0.95). Only meaningful with
+	// AuditFraction > 0.
+	RecallSLO float64
+	// AuditFraction samples this fraction of index-path queries for an
+	// online accuracy audit: the probe re-runs exactly (brute force over
+	// the pinned snapshot) off the request path and the observed recall@k
+	// feeds the SLO tuner. 0 (the default) disables auditing.
+	AuditFraction float64
+	// DisableAutoTune keeps the auditor recording recall but never lets
+	// it move index knobs — observe-only mode.
+	DisableAutoTune bool
+	// CalibrateCost measures this machine's relative access/compare/model
+	// costs at engine build (cost.Calibrate — a few microseconds plus 64
+	// model calls) and plans with the result instead of CostParams.
+	CalibrateCost bool
 }
 
 // TableInfo describes one catalog entry.
@@ -162,6 +179,13 @@ type Engine struct {
 
 	// tablePrec is the per-table precision knob (see precision.go).
 	tablePrec tablePrecisions
+
+	// feedback is the estimate-vs-observation registry closing the loop
+	// between planner and runtime; aud is the background recall auditor
+	// feeding it (see feedback.go).
+	feedback   *feedback.Registry
+	aud        *auditor
+	calibrated bool
 
 	counters counters
 	obs      engineObs
@@ -209,6 +233,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.CostParams.Validate() != nil {
 		cfg.CostParams = cost.DefaultParams()
 	}
+	calibrated := false
+	if cfg.CalibrateCost {
+		// Calibration embeds through the model directly, not the store, so
+		// cache statistics and executor model-call counts stay untouched.
+		if p, err := cost.Calibrate(m, m.Dim()); err == nil {
+			cfg.CostParams = p
+			calibrated = true
+		}
+	}
 	if cfg.Kernel == vec.KernelScalar {
 		// The zero value means "unset", not a scalar-kernel request.
 		cfg.Kernel = vec.DefaultKernel()
@@ -231,18 +264,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 
 	eng := &Engine{
-		cfg:     cfg,
-		model:   m,
-		store:   store,
-		exec:    ex,
-		opt:     opt,
-		catalog: sqlish.NewCatalog(),
-		plans:   newPlanCache(cfg.PlanCacheSize),
-		slots:   make(chan struct{}, cfg.MaxConcurrent),
-		bytes:   newByteSemaphore(cfg.AdmissionBytes),
-		start:   time.Now(),
+		cfg:        cfg,
+		model:      m,
+		store:      store,
+		exec:       ex,
+		opt:        opt,
+		catalog:    sqlish.NewCatalog(),
+		plans:      newPlanCache(cfg.PlanCacheSize),
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		bytes:      newByteSemaphore(cfg.AdmissionBytes),
+		feedback:   feedback.NewRegistry(cfg.RecallSLO),
+		calibrated: calibrated,
+		start:      time.Now(),
 	}
 	eng.obs.slow = obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogWorst, cfg.SlowQueryThreshold)
+	// The planner consults the learned corrections on every Optimize.
+	opt.Feedback = eng.feedback
+	eng.aud = newAuditor()
+	go eng.auditLoop()
 	return eng, nil
 }
 
@@ -356,6 +395,9 @@ func (e *Engine) DropTable(name string) bool {
 	if ok {
 		e.plans.purgeStale(e.catalog.Generation())
 		e.tablePrec.drop(name)
+		// Learned corrections and audit history describe the dropped
+		// contents, not the name; a recreated table starts neutral.
+		e.feedback.Drop(name)
 		// Purge MVCC state with the table: generations, key maps, index,
 		// and tombstones must not leak into a recreated same-name table
 		// (which gets a fresh incarnation, so the old one's WAL records

@@ -116,6 +116,12 @@ type ServerStats struct {
 	// Obs describes the tracing subsystem: traced queries, slow-log
 	// retention, and latency-histogram sample counts.
 	Obs ObsStats `json:"obs"`
+	// Cost surfaces the planner's effective cost-model coefficients and
+	// whether they came from machine calibration.
+	Cost CostStats `json:"cost"`
+	// Feedback describes the closed loop: audit counts, tuner moves, and
+	// the recall SLO driving them.
+	Feedback FeedbackStats `json:"feedback"`
 }
 
 // Stats snapshots the engine's statistics.
@@ -144,6 +150,8 @@ func (e *Engine) Stats() ServerStats {
 	st.Quant.TablePrecisions = e.tablePrec.snapshot()
 	st.Quant.PrecisionSlack = e.cfg.PrecisionSlack
 	st.Obs = e.obsStats()
+	st.Cost = e.costStats()
+	st.Feedback = e.feedbackStats()
 	c.mu.Lock()
 	st.Join = c.join
 	if len(c.strategies) > 0 {

@@ -68,3 +68,19 @@ type Snapshotter interface {
 	// loader into an index with identical TopK results.
 	WriteSnapshot(w io.Writer) error
 }
+
+// TunableIndex is the capability interface for indexes with a runtime
+// recall/cost knob — the default beam a TopK with beam<=0 searches at
+// (NProbe for inverted files, efSearch for graphs, the rerank pool for
+// quantized indexes). The SLO-driven tuner nudges this knob between
+// audit rounds; implementations must make both methods safe against
+// concurrent TopK calls.
+type TunableIndex interface {
+	Index
+	// Knob returns the knob's name (stable, e.g. "nprobe") and its
+	// current value.
+	Knob() (name string, value int)
+	// SetKnob applies value, clamped to the index's valid range, and
+	// returns the value actually in effect afterwards.
+	SetKnob(value int) int
+}
