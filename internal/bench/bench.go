@@ -100,6 +100,7 @@ func Registry() []Experiment {
 		expModelCache(),
 		expCache(),
 		expServe(),
+		expStream(),
 		expPersist(),
 		expMutate(),
 		expTune(),

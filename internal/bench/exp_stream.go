@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"ejoin/internal/core"
+	"ejoin/internal/cost"
+	"ejoin/internal/embstore"
+	"ejoin/internal/model"
+	"ejoin/internal/plan"
+	"ejoin/internal/vec"
+	"ejoin/internal/workload"
+)
+
+// streamPhase is one executor's measurement over the same workload.
+type streamPhase struct {
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	AllocPerQry  int64   `json:"alloc_bytes_per_query"`
+	Matches      int     `json:"matches"`
+	ModelCallsQ0 int64   `json:"model_calls_first_query"`
+}
+
+// streamReport is the machine-readable result, written to BENCH_stream.json.
+type streamReport struct {
+	ProbeRows     int         `json:"probe_rows"`
+	BuildRows     int         `json:"build_rows"`
+	BlockRows     int         `json:"block_rows"`
+	Limit         int         `json:"limit"`
+	Iterations    int         `json:"iterations"`
+	Streaming     streamPhase `json:"streaming"`
+	Materializing streamPhase `json:"materializing"`
+	// AllocRatio is materializing / streaming intermediate bytes per
+	// query; the acceptance floor is 4.
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// expStream measures the streaming engine against the materializing one
+// on the workload streaming exists for: a threshold join with a small
+// LIMIT over a probe side far larger than the build side. The stream
+// satisfies the limit within the first couple of blocks and stops; the
+// materializing run gathers and probes the whole probe side first. The
+// report captures warm-store throughput, tail latency, and intermediate
+// allocations per query for both.
+func expStream() Experiment {
+	return Experiment{
+		Name:        "stream",
+		Paper:       "Streaming exec (new)",
+		Description: "Block-at-a-time streaming vs materializing executor: QPS, p95 and intermediate allocations on a threshold join + LIMIT.",
+		Run: func(w io.Writer, cfg Config) error {
+			const (
+				buildRows = 32
+				blockRows = 64
+				limit     = 10
+				dim       = 64
+			)
+			probeRows := cfg.size(4000)
+			iters := 30
+			if cfg.Quick {
+				iters = 10
+			}
+
+			words := workload.Strings(cfg.Seed, probeRows, nil)
+			left, err := stringTable(words)
+			if err != nil {
+				return err
+			}
+			// Build side = a prefix of the probe strings: identical strings
+			// meet any threshold, so the limit is satisfiable within the
+			// first block.
+			right, err := stringTable(words[:buildRows])
+			if err != nil {
+				return err
+			}
+			m, err := model.NewHashEmbedder(dim)
+			if err != nil {
+				return err
+			}
+			counting := model.NewCountingModel(m)
+			q := plan.Query{
+				Left:  plan.TableRef{Name: "probe", Table: left, TextColumn: "text"},
+				Right: plan.TableRef{Name: "build", Table: right, TextColumn: "text"},
+				Model: counting,
+				Join:  plan.JoinSpec{Kind: plan.ThresholdJoin, Threshold: 0.5},
+			}
+			naive, err := plan.NewNaivePlan(q)
+			if err != nil {
+				return err
+			}
+			o := plan.NewOptimizer()
+			s := cost.StrategyNLJ
+			o.ForceStrategy = &s
+			optimized, err := o.Optimize(naive)
+			if err != nil {
+				return err
+			}
+
+			store := embstore.New(embstore.Config{})
+			ex := &plan.Executor{
+				Options:   core.Options{Kernel: vec.DefaultKernel(), Threads: 1},
+				Store:     store,
+				BlockRows: blockRows,
+			}
+			ctx := context.Background()
+
+			// Warm the shared store so both phases measure executor work,
+			// not model calls (the cold-corpus gap is even larger for
+			// streaming — it never embeds rows past the limit — but mixing
+			// it in would blur the intermediate-allocation comparison).
+			if _, _, err := store.EmbedAll(ctx, counting, words, embstore.BatchOptions{}); err != nil {
+				return err
+			}
+
+			phase := func(streaming bool) (streamPhase, error) {
+				counting.Reset()
+				run := func() (*plan.ExecResult, error) {
+					if streaming {
+						return ex.ExecuteStreaming(ctx, optimized, limit)
+					}
+					res, err := ex.Execute(ctx, optimized)
+					if err == nil && len(res.Matches) > limit {
+						res.Matches = res.Matches[:limit]
+					}
+					return res, err
+				}
+				// Settle lazy state, and record first-query model calls
+				// (zero on a warm store for both executors).
+				first, err := run()
+				if err != nil {
+					return streamPhase{}, err
+				}
+				var before, after runtime.MemStats
+				lat := make([]time.Duration, 0, iters)
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					t0 := time.Now()
+					if _, err := run(); err != nil {
+						return streamPhase{}, err
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				wall := time.Since(start)
+				runtime.ReadMemStats(&after)
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				return streamPhase{
+					QPS:          float64(iters) / wall.Seconds(),
+					P50Ms:        pctMs(lat, 0.50),
+					P95Ms:        pctMs(lat, 0.95),
+					AllocPerQry:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+					Matches:      len(first.Matches),
+					ModelCallsQ0: counting.Calls(),
+				}, nil
+			}
+
+			streamed, err := phase(true)
+			if err != nil {
+				return err
+			}
+			materialized, err := phase(false)
+			if err != nil {
+				return err
+			}
+
+			rep := streamReport{
+				ProbeRows:     probeRows,
+				BuildRows:     buildRows,
+				BlockRows:     blockRows,
+				Limit:         limit,
+				Iterations:    iters,
+				Streaming:     streamed,
+				Materializing: materialized,
+				AllocRatio:    float64(materialized.AllocPerQry) / float64(streamed.AllocPerQry),
+			}
+
+			t := newTable("Executor", "QPS", "p50 [ms]", "p95 [ms]", "Alloc/query [B]", "Matches")
+			t.addRow("streaming", fmt.Sprintf("%.1f", streamed.QPS),
+				fmt.Sprintf("%.3f", streamed.P50Ms), fmt.Sprintf("%.3f", streamed.P95Ms),
+				fmt.Sprint(streamed.AllocPerQry), fmt.Sprint(streamed.Matches))
+			t.addRow("materializing", fmt.Sprintf("%.1f", materialized.QPS),
+				fmt.Sprintf("%.3f", materialized.P50Ms), fmt.Sprintf("%.3f", materialized.P95Ms),
+				fmt.Sprint(materialized.AllocPerQry), fmt.Sprint(materialized.Matches))
+			t.print(w)
+			fmt.Fprintf(w, "\n%d probe rows vs %d build rows, block %d, LIMIT %d: %.1fx fewer intermediate bytes streaming\n",
+				probeRows, buildRows, blockRows, limit, rep.AllocRatio)
+			if rep.AllocRatio < 4 {
+				fmt.Fprintf(w, "WARNING: alloc ratio %.1f below the 4x acceptance floor\n", rep.AllocRatio)
+			}
+
+			if cfg.JSONDir != "" {
+				path := filepath.Join(cfg.JSONDir, "BENCH_stream.json")
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("bench: writing %s: %w", path, err)
+				}
+				fmt.Fprintf(w, "wrote %s\n", path)
+			}
+			return nil
+		},
+	}
+}

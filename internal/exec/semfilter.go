@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"ejoin/internal/vec"
+)
+
+// SemFilter is the fused semantic filter: each block's embeddings are
+// scored against one query vector and rows below the threshold are
+// compacted away before the block reaches the probe. The fusion is the
+// point — the filter consumes the same per-block embeddings the probe
+// will use, so filtered rows are embedded exactly once and never probed,
+// where a cascaded plan would materialize the filter's survivors and
+// re-gather (or worse, re-embed) them for the join.
+type SemFilter struct {
+	Input Operator
+	// Query is the unit-norm filter vector; rows keep iff cos >= Threshold.
+	Query     []float32
+	Threshold float32
+	Kernel    vec.Kernel
+
+	st OpStats
+}
+
+// Open implements Operator.
+func (f *SemFilter) Open(ctx context.Context) error {
+	f.st = OpStats{Name: "semfilter"}
+	return f.Input.Open(ctx)
+}
+
+// Next scores and compacts the next block in place.
+func (f *SemFilter) Next(ctx context.Context) (*Batch, error) {
+	for {
+		b, err := f.Input.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		start := time.Now()
+		f.st.RowsIn += int64(b.Len())
+		if b.Sims == nil || cap(b.Sims) < b.Len() {
+			b.Sims = make([]float32, b.Len())
+		}
+		b.Sims = b.Sims[:b.Len()]
+		w := 0
+		for r, row := range b.Rows {
+			sim := vec.Dot(f.Kernel, b.Emb.Row(r), f.Query)
+			if sim < f.Threshold {
+				continue
+			}
+			b.Rows[w] = row
+			b.Sims[w] = sim
+			if w != r {
+				copy(b.Emb.Row(w), b.Emb.Row(r))
+			}
+			w++
+		}
+		f.st.EarlyOutRows += int64(b.Len() - w)
+		b.Rows = b.Rows[:w]
+		b.Sims = b.Sims[:w]
+		b.Emb = b.Emb.Slice(0, w)
+		f.st.Elapsed += time.Since(start)
+		if w == 0 {
+			continue // block fully rejected: pull the next one
+		}
+		f.st.RowsOut += int64(w)
+		f.st.Batches++
+		return b, nil
+	}
+}
+
+// Close implements Operator.
+func (f *SemFilter) Close() error { return f.Input.Close() }
+
+// Stats implements Operator.
+func (f *SemFilter) Stats() OpStats { return f.st }

@@ -8,6 +8,7 @@ import (
 	"ejoin/internal/core"
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
+	"ejoin/internal/exec"
 	"ejoin/internal/hnsw"
 	"ejoin/internal/mat"
 	"ejoin/internal/model"
@@ -29,6 +30,9 @@ type Executor struct {
 	// calls. Stats.ModelCalls then reports actual model work (misses), not
 	// input cardinality.
 	Store *embstore.Store
+	// BlockRows is the streaming executor's probe-side block size
+	// (ExecuteStreaming); <=0 uses exec.DefaultBlockSize.
+	BlockRows int
 }
 
 // ExecResult is the output of executing a join plan. Matches carry global
@@ -46,6 +50,16 @@ type ExecResult struct {
 	// cardinality, per-node wall time), mirroring the executed plan. Built
 	// only when the context carries an obs.Trace.
 	Analysis *obs.NodeStats
+	// Streamed reports the block-at-a-time engine executed this plan
+	// (false for the materializing path, including its naive fallback).
+	Streamed bool
+	// Truncated reports a streamed execution stopped early because its
+	// LIMIT was satisfied: Matches holds exactly the first limit matches
+	// and downstream consumers must treat observed cardinality as censored.
+	Truncated bool
+	// Ops are the streaming pipeline's per-operator statistics (rows
+	// in/out, batches, early-out counts, self time); nil when materialized.
+	Ops []exec.OpStats
 }
 
 // evaluatedInput is one join input after scan/filter/embed evaluation.

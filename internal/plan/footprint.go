@@ -3,6 +3,7 @@ package plan
 import (
 	"ejoin/internal/core"
 	"ejoin/internal/cost"
+	"ejoin/internal/exec"
 	"ejoin/internal/mat"
 )
 
@@ -39,6 +40,47 @@ func EstimateFootprint(j *EJoin, dim int, opts core.Options) int64 {
 		} else {
 			bytes += int64(rr) * 4
 		}
+	}
+	return bytes
+}
+
+// EstimateFootprintStreaming is the admission weight of a streamed plan:
+// the resident build side plus one probe block, instead of both whole
+// inputs. This is the fix for over-admission starvation — charging
+// whole-intermediate bytes for a pipeline that never materializes them
+// serialized queries that could have run concurrently under the same
+// budget. blockRows <=0 uses exec.DefaultBlockSize. Non-streamable plans
+// (naive) fall back to the materializing estimate, mirroring
+// ExecuteStreaming's own fallback.
+func EstimateFootprintStreaming(j *EJoin, dim int, opts core.Options, blockRows int) int64 {
+	if j == nil {
+		return 0
+	}
+	if !Streamable(j) {
+		return EstimateFootprint(j, dim, opts)
+	}
+	if blockRows <= 0 {
+		blockRows = exec.DefaultBlockSize
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	lr, rr := estimateRows(j.Left), estimateRows(j.Right)
+	block := lr
+	if block > blockRows {
+		block = blockRows
+	}
+	bytes := int64(rr+block) * int64(dim) * 4
+	switch j.Strategy {
+	case cost.StrategyTensor:
+		batch := mat.BatchOptions{
+			BudgetBytes: opts.BudgetBytes,
+			BatchRows:   opts.BatchRows,
+			BatchCols:   opts.BatchCols,
+		}
+		bytes += mat.PeakBlockBytes(block, rr, batch)
+	case cost.StrategyNLJ:
+		bytes += int64(rr) * 4
 	}
 	return bytes
 }

@@ -24,6 +24,9 @@ type engineObs struct {
 	latency     obs.Histogram
 	byStrategy  obs.HistogramVec
 	byPrecision obs.HistogramVec
+	// byOperator is the streaming pipeline's per-operator self-time
+	// histogram family (label: operator name).
+	byOperator obs.HistogramVec
 	// slow retains completed traces for /debug/queries.
 	slow *obs.SlowLog
 	// traced counts queries that carried a trace.
@@ -150,6 +153,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	ee := st.Exec
+	mw.Counter("ejoin_exec_streamed_queries_total", "Queries served by the streaming block-at-a-time executor.", float64(ee.StreamedQueries))
+	mw.Counter("ejoin_exec_materialized_queries_total", "Queries served by the materializing executor (including naive fallbacks).", float64(ee.MaterializedQueries))
+	mw.Counter("ejoin_exec_truncated_queries_total", "Streamed queries a LIMIT short-circuited.", float64(ee.TruncatedQueries))
+	mw.Counter("ejoin_exec_batches_total", "Batches emitted across all streaming pipeline operators.", float64(ee.Batches))
+	mw.Counter("ejoin_exec_rows_early_out_total", "Rows and matches skipped by streaming early termination.", float64(ee.EarlyOutRows))
+
 	ob := st.Obs
 	mw.Counter("ejoin_traced_queries_total", "Queries that carried a trace.", float64(ob.TracedQueries))
 	mw.Gauge("ejoin_slow_log_entries", "Traces retained in the slow-query ring.", float64(ob.SlowLogEntries))
@@ -166,6 +176,8 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		"Query latency split by physical join strategy.", "strategy", &e.obs.byStrategy)
 	mw.HistogramVec("ejoin_query_precision_duration_seconds",
 		"Query latency split by effective scan precision.", "precision", &e.obs.byPrecision)
+	mw.HistogramVec("ejoin_exec_operator_duration_seconds",
+		"Cumulative per-query self time of each streaming pipeline operator.", "operator", &e.obs.byOperator)
 
 	writeFloatHist(mw, "ejoin_feedback_audit_recall",
 		"Observed recall@k from sampled index-path audits.", e.feedback.RecallHist)

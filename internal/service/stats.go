@@ -7,6 +7,7 @@ import (
 
 	"ejoin/internal/core"
 	"ejoin/internal/embstore"
+	"ejoin/internal/plan"
 	"ejoin/internal/quant"
 )
 
@@ -19,6 +20,14 @@ type counters struct {
 	rejected       atomic.Int64
 	admissionWaits atomic.Int64
 	inFlight       atomic.Int64
+
+	// Streaming-executor shape counters: which engine ran, how many
+	// batches flowed, and how many rows/matches early-out skipped.
+	streamed     atomic.Int64
+	materialized atomic.Int64
+	truncated    atomic.Int64
+	execBatches  atomic.Int64
+	execEarlyOut atomic.Int64
 
 	mu         sync.Mutex
 	join       core.Stats
@@ -47,6 +56,42 @@ func (e *Engine) recordExecution(strategy string, precision quant.Precision, s c
 		c.precisions = make(map[string]int64)
 	}
 	c.precisions[precision.String()]++
+}
+
+// recordExecShape folds one execution's streaming-pipeline accounting
+// into the counters and the per-operator latency histograms.
+func (e *Engine) recordExecShape(res *plan.ExecResult) {
+	c := &e.counters
+	if res.Streamed {
+		c.streamed.Add(1)
+	} else {
+		c.materialized.Add(1)
+	}
+	if res.Truncated {
+		c.truncated.Add(1)
+	}
+	for _, op := range res.Ops {
+		c.execBatches.Add(op.Batches)
+		c.execEarlyOut.Add(op.EarlyOutRows)
+		e.obs.byOperator.With(op.Name).Observe(op.Elapsed)
+	}
+}
+
+// ExecStats is the streaming execution engine's observability surface.
+type ExecStats struct {
+	// StreamedQueries/MaterializedQueries split served queries by which
+	// executor ran them (naive-strategy fallbacks count as materialized).
+	StreamedQueries     int64 `json:"streamed_queries"`
+	MaterializedQueries int64 `json:"materialized_queries"`
+	// TruncatedQueries counts streams a LIMIT short-circuited.
+	TruncatedQueries int64 `json:"truncated_queries"`
+	// Batches is the total batches emitted across all pipeline operators.
+	Batches int64 `json:"batches"`
+	// EarlyOutRows counts rows and matches skipped by early termination
+	// (semantic-filter rejections, residual-threshold drops, LIMIT cuts).
+	EarlyOutRows int64 `json:"early_out_rows"`
+	// BlockRows is the configured probe-side block size (0 = default).
+	BlockRows int `json:"block_rows"`
 }
 
 // QuantStats is the precision ladder's observability surface.
@@ -113,6 +158,9 @@ type ServerStats struct {
 	// Mutation describes the live-update arm: WAL, applied batches,
 	// tombstones, replay, and index re-clustering.
 	Mutation *MutationStats `json:"mutation,omitempty"`
+	// Exec describes the streaming execution engine: which executor served
+	// queries, batch counts, and early-out savings.
+	Exec ExecStats `json:"exec"`
 	// Obs describes the tracing subsystem: traced queries, slow-log
 	// retention, and latency-histogram sample counts.
 	Obs ObsStats `json:"obs"`
@@ -146,6 +194,14 @@ func (e *Engine) Stats() ServerStats {
 		StoreModels:            e.store.ModelEntries(),
 		Durable:                e.durableStats(),
 		Mutation:               e.mutationStats(),
+	}
+	st.Exec = ExecStats{
+		StreamedQueries:     c.streamed.Load(),
+		MaterializedQueries: c.materialized.Load(),
+		TruncatedQueries:    c.truncated.Load(),
+		Batches:             c.execBatches.Load(),
+		EarlyOutRows:        c.execEarlyOut.Load(),
+		BlockRows:           e.cfg.ExecBlockRows,
 	}
 	st.Quant.TablePrecisions = e.tablePrec.snapshot()
 	st.Quant.PrecisionSlack = e.cfg.PrecisionSlack

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ejoin/internal/workload"
+)
+
+// twinEngines builds a streaming engine and a materializing engine over
+// identical tables and models, so service-level behavior (results,
+// feedback, stats) can be compared across executors.
+func twinEngines(t *testing.T, base Config) (streaming, materializing *Engine) {
+	t.Helper()
+	mcfg := base
+	mcfg.MaterializeExec = true
+	streaming, _ = newTestEngine(t, base)
+	materializing, _ = newTestEngine(t, mcfg)
+	return streaming, materializing
+}
+
+// TestServiceStreamingDifferential runs every request shape through a
+// streaming and a materializing engine and requires identical responses
+// AND identical cardinality-feedback state: the streaming engine must be
+// invisible to clients and to the planner's closed loop.
+func TestServiceStreamingDifferential(t *testing.T) {
+	stream, mat := twinEngines(t, Config{ExecBlockRows: 16})
+	thr := 0.8
+	requests := []QueryRequest{
+		{SQL: testQuery},
+		{SQL: testQuery, Limit: 3},
+		{Join: &JoinRequest{
+			LeftTable: "left", LeftColumn: "text",
+			RightTable: "right", RightColumn: "text",
+			Kind: "topk", K: 2,
+		}},
+		{Join: &JoinRequest{
+			LeftTable: "left", LeftColumn: "text",
+			RightTable: "right", RightColumn: "text",
+			Kind: "threshold", Threshold: &thr,
+		}, Limit: 5},
+	}
+	ctx := context.Background()
+	for i, req := range requests {
+		sres, err := stream.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d (streaming): %v", i, err)
+		}
+		mres, err := mat.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d (materializing): %v", i, err)
+		}
+		if sres.Strategy != mres.Strategy || sres.Precision != mres.Precision {
+			t.Errorf("request %d: strategy/precision %s/%s vs %s/%s",
+				i, sres.Strategy, sres.Precision, mres.Strategy, mres.Precision)
+		}
+		if len(sres.Matches) != len(mres.Matches) {
+			t.Fatalf("request %d: %d matches streaming, %d materializing",
+				i, len(sres.Matches), len(mres.Matches))
+		}
+		for j := range sres.Matches {
+			if sres.Matches[j] != mres.Matches[j] {
+				t.Fatalf("request %d match %d: %+v vs %+v", i, j, sres.Matches[j], mres.Matches[j])
+			}
+		}
+		if req.Limit > 0 && len(sres.Matches) > req.Limit {
+			t.Errorf("request %d returned %d matches over limit %d", i, len(sres.Matches), req.Limit)
+		}
+	}
+
+	// The /stats cardinality feedback must be byte-for-byte identical:
+	// same joins recorded, same q-errors, same regret — and the same
+	// requests *skipped* (a LIMIT that bites censors cardinality on both
+	// engines, not just the one that truncated the stream).
+	sd, md := stream.FeedbackDump(), mat.FeedbackDump()
+	if !reflect.DeepEqual(sd, md) {
+		t.Errorf("feedback diverged:\nstreaming:     %+v\nmaterializing: %+v", sd, md)
+	}
+
+	sst, mst := stream.Stats(), mat.Stats()
+	if sst.Exec.StreamedQueries == 0 || sst.Exec.MaterializedQueries != 0 {
+		t.Errorf("streaming engine exec split = %+v", sst.Exec)
+	}
+	if mst.Exec.StreamedQueries != 0 || mst.Exec.MaterializedQueries == 0 {
+		t.Errorf("materializing engine exec split = %+v", mst.Exec)
+	}
+	if sst.Exec.TruncatedQueries == 0 {
+		t.Error("limited requests truncated no streams")
+	}
+	if sst.Exec.Batches == 0 {
+		t.Error("streaming engine recorded no batches")
+	}
+}
+
+// TestStreamingAdmissionWeight is the over-admission-starvation fix: a
+// streamed plan holds build-side + one block of the byte budget, not both
+// whole inputs, so the same budget admits several streamed queries where
+// it serialized materializing ones.
+func TestStreamingAdmissionWeight(t *testing.T) {
+	// A large probe side against a small build side — the shape streaming
+	// exists for. The materializing estimate charges for both whole
+	// inputs; the streamed one charges build + one block.
+	const probeRows, buildRows = 600, 60
+	registerAsym := func(e *Engine) {
+		for _, side := range []struct {
+			name string
+			rows int
+		}{{"big", probeRows}, {"small", buildRows}} {
+			tbl, err := stringTable(workload.Strings(9, side.rows, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.RegisterTable(side.name, tbl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	thr := 0.8
+	asymQuery := QueryRequest{Join: &JoinRequest{
+		LeftTable: "big", LeftColumn: "text",
+		RightTable: "small", RightColumn: "text",
+		Kind: "threshold", Threshold: &thr,
+	}}
+
+	// Measure both weights under an effectively unbounded budget (no
+	// clamping), on twin engines over identical tables.
+	stream, mat := twinEngines(t, Config{ExecBlockRows: 16})
+	registerAsym(stream)
+	registerAsym(mat)
+	ctx := context.Background()
+	sres, err := stream.Query(ctx, asymQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mat.Query(ctx, asymQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wStream, wMat := sres.AdmittedBytes, mres.AdmittedBytes
+	if wStream <= 0 || wMat <= 0 {
+		t.Fatalf("weights: streaming %d, materializing %d", wStream, wMat)
+	}
+	if wStream*4 > wMat {
+		t.Fatalf("streamed weight %d not >= 4x lighter than materializing %d", wStream, wMat)
+	}
+
+	// Concurrency arithmetic under a shared budget sized for exactly four
+	// streamed queries: the materializing estimate admits at most one at
+	// a time (it exceeds the budget and is clamped to run alone).
+	budget := 4 * wStream
+	if admitted := budget / wMat; admitted != 0 {
+		t.Fatalf("budget %d fits %d materializing queries; test needs 0 (clamped, runs alone)", budget, admitted)
+	}
+
+	// And empirically: four concurrent streamed queries under that budget
+	// all admit without a single wait.
+	e4, _ := newTestEngine(t, Config{ExecBlockRows: 16, AdmissionBytes: budget, MaxConcurrent: 8})
+	registerAsym(e4)
+	// Warm the corpus first so the concurrent round is compute-light.
+	if _, err := e4.Query(ctx, asymQuery); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e4.Query(ctx, asymQuery); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if waits := e4.Stats().AdmissionWaits; waits != 0 {
+		t.Errorf("4 streamed queries under a 4-query budget waited %d times, want 0", waits)
+	}
+}
+
+// TestStreamingMetricsFamilies requires the exec metric families in the
+// exposition after streamed and limited queries.
+func TestStreamingMetricsFamilies(t *testing.T) {
+	e, _ := newTestEngine(t, Config{ExecBlockRows: 16})
+	ctx := context.Background()
+	if _, err := e.Query(ctx, QueryRequest{SQL: testQuery}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(ctx, QueryRequest{SQL: testQuery, Limit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ejoin_exec_streamed_queries_total 2",
+		"ejoin_exec_truncated_queries_total 1",
+		"ejoin_exec_batches_total",
+		"ejoin_exec_rows_early_out_total",
+		`ejoin_exec_operator_duration_seconds_bucket{operator="scan"`,
+		`ejoin_exec_operator_duration_seconds_bucket{operator="probe:`,
+		`ejoin_exec_operator_duration_seconds_bucket{operator="limit"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
