@@ -37,6 +37,15 @@
 // the same directory serves the first repeated query with zero model
 // calls. Recovery is crash-safe — torn log tails are truncated and
 // checksum-failing records skipped, never served.
+//
+// With -shards N (N > 1) the process runs N engine shards behind an
+// in-process router: ingest and mutations are partitioned across shards
+// (-partitioner hash or centroid), queries scatter to every shard and
+// gather through a streaming merge, and results are byte-identical to
+// the same data on a single engine. /stats reports per-shard plus
+// aggregated sections, /metrics adds the ejoin_shard_* families, and
+// /readyz stays 503 until every shard finishes WAL replay. A durable
+// sharded deployment must reboot with the same -shards and -partitioner.
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"ejoin/internal/service"
+	"ejoin/internal/shard"
 )
 
 func main() {
@@ -81,6 +91,8 @@ func main() {
 		auditFraction  = flag.Float64("audit-fraction", 0.05, "fraction of index-path queries re-run exactly in the background for recall audits (0 = audits and auto-tuning off)")
 		disableTuning  = flag.Bool("disable-auto-tune", false, "record audits but never move index knobs")
 		calibrateCost  = flag.Bool("calibrate-cost", false, "measure this machine's access/compare/embed costs at boot and plan with them instead of the built-in defaults")
+		shards         = flag.Int("shards", 1, "in-process engine shards (1 = single unsharded engine)")
+		partitioner    = flag.String("partitioner", "hash", "row placement across shards: hash or centroid (ignored with -shards 1)")
 	)
 	flag.Parse()
 
@@ -125,11 +137,24 @@ func main() {
 		done <- httpSrv.ListenAndServe()
 	}()
 
-	// The engine opens in the background so the listener answers /healthz
+	// The backend opens in the background so the listener answers /healthz
 	// and /readyz during WAL replay and warm-start; /readyz flips to 200
-	// when the engine is published.
+	// when the backend is published. A sharded boot replays every shard's
+	// WAL before publish, so readiness covers the whole deployment.
 	boot := make(chan error, 1)
 	go func() {
+		if *shards > 1 {
+			router, err := shard.Open(shard.Config{Shards: *shards, Partitioner: *partitioner, Engine: cfg})
+			if err != nil {
+				srv.failBoot(err)
+				boot <- err
+				return
+			}
+			srv.publish(routerBackend{router})
+			log.Printf("ejserve: ready (%d shards, %s partitioner)", router.Shards(), router.PartitionerKind())
+			boot <- nil
+			return
+		}
 		engine, err := service.Open(cfg)
 		if err != nil {
 			srv.failBoot(err)
@@ -157,7 +182,7 @@ func main() {
 			log.Printf("ejserve: feedback: auditing %.1f%% of index-path queries against recall SLO %.2f (auto-tune %v)",
 				*auditFraction*100, *recallSLO, !*disableTuning)
 		}
-		srv.publish(engine)
+		srv.publish(engineBackend{engine})
 		log.Printf("ejserve: ready")
 		boot <- nil
 	}()

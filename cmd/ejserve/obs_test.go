@@ -44,7 +44,7 @@ func TestReadyzGatesUntilPublish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.publish(engine)
+	s.publish(engineBackend{engine})
 	if status, body := get("/readyz"); status != http.StatusOK || !strings.Contains(body, "ready") {
 		t.Fatalf("readyz after publish = %d %s", status, body)
 	}
@@ -207,7 +207,7 @@ func TestPprofGatedByFlag(t *testing.T) {
 	}
 
 	on := newServer(true)
-	on.publish(engine)
+	on.publish(engineBackend{engine})
 	tsOn := httptest.NewServer(on)
 	defer tsOn.Close()
 	resp, err = http.Get(tsOn.URL + "/debug/pprof/")

@@ -24,12 +24,13 @@ import (
 // maxBodyBytes bounds request bodies (queries and CSV uploads).
 const maxBodyBytes = 64 << 20
 
-// server wraps an Engine with the HTTP/JSON surface. The engine is
-// published only once Open completes (WAL replay, warm-start), so the
-// process can listen — and answer /healthz and /readyz — while recovery
-// is still running; every other endpoint is 503 until publish.
+// server wraps a backend (single engine, or shard router) with the
+// HTTP/JSON surface. The backend is published only once Open completes
+// (WAL replay on every shard, warm-start), so the process can listen —
+// and answer /healthz and /readyz — while recovery is still running;
+// every other endpoint is 503 until publish.
 type server struct {
-	engine  atomic.Pointer[service.Engine]
+	backend atomic.Value // backend; nil until publish
 	bootErr atomic.Pointer[string]
 	mux     *http.ServeMux
 }
@@ -60,12 +61,17 @@ func newServer(debugPprof bool) *server {
 	return s
 }
 
-// eng is the published engine (nil until boot completes).
-func (s *server) eng() *service.Engine { return s.engine.Load() }
+// eng is the published backend (nil until boot completes).
+func (s *server) eng() backend {
+	b, _ := s.backend.Load().(backend)
+	return b
+}
 
-// publish makes the opened engine visible: /readyz flips to 200 and the
-// data endpoints start serving.
-func (s *server) publish(e *service.Engine) { s.engine.Store(e) }
+// publish makes the opened backend visible: /readyz flips to 200 and the
+// data endpoints start serving. With a shard router this happens only
+// after every shard finished WAL replay (Open blocks on all of them), so
+// /readyz never passes a partially recovered deployment.
+func (s *server) publish(b backend) { s.backend.Store(b) }
 
 // failBoot records a fatal open error for /readyz to report while the
 // process shuts down.
@@ -136,7 +142,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng().Stats())
+	writeJSON(w, http.StatusOK, s.eng().statsValue())
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -376,7 +382,7 @@ func (s *server) handleSetPrecision(w http.ResponseWriter, r *http.Request) {
 // memory-only engine is 409 (the resource state cannot satisfy the
 // request); an I/O failure during flush/compaction is 500.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	info, err := s.eng().Snapshot()
+	info, err := s.eng().snapshotValue()
 	if errors.Is(err, service.ErrNotDurable) {
 		writeError(w, r, http.StatusConflict, "%v", err)
 		return

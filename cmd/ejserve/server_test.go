@@ -15,7 +15,7 @@ import (
 // does: built unready, then published.
 func serverFor(e *service.Engine) *server {
 	s := newServer(false)
-	s.publish(e)
+	s.publish(engineBackend{e})
 	return s
 }
 

@@ -100,6 +100,7 @@ func Registry() []Experiment {
 		expModelCache(),
 		expCache(),
 		expServe(),
+		expShard(),
 		expStream(),
 		expPersist(),
 		expMutate(),

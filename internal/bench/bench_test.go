@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "costmodel",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17",
-		"lsh", "fp16", "modelcache", "cache", "serve", "stream", "persist", "blocksize", "hnswrecall", "ivf",
+		"lsh", "fp16", "modelcache", "cache", "serve", "shard", "stream", "persist", "blocksize", "hnswrecall", "ivf",
 		"quant", "mutate", "tune",
 	}
 	names := map[string]bool{}

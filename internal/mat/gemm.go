@@ -122,6 +122,14 @@ func mulBlockScalar(dst, r, s *Matrix, rLo, rHi, sLo, sHi int) {
 // tile (6 loads feed 8 multiply-adds), which is where BLAS kernels get
 // their advantage over tuple-at-a-time dot products. Go has no intrinsics,
 // so this is the closest pure-Go analogue of MKL's role in the paper.
+//
+// Determinism contract: every output cell accumulates over k in ascending
+// order, whether it lands in the 4x2 tile or a remainder row/column. A
+// cell's bit pattern therefore depends only on its two input vectors —
+// never on where block or tile boundaries fall, i.e. never on the matrix
+// shapes. The shard router relies on this: it slices the same logical
+// tables into per-shard matrices of different heights and promises
+// byte-identical similarities to an unsharded execution.
 func mulBlockUnrolled(dst, r, s *Matrix, rLo, rHi, sLo, sHi int) {
 	d := r.Cols()
 	i := rLo
@@ -162,20 +170,34 @@ func mulBlockUnrolled(dst, r, s *Matrix, rLo, rHi, sLo, sHi int) {
 		}
 		for ; j < sHi; j++ {
 			sj := s.Row(j)
-			d0[j] = vec.Dot(vec.KernelSIMD, r0, sj)
-			d1[j] = vec.Dot(vec.KernelSIMD, r1, sj)
-			d2[j] = vec.Dot(vec.KernelSIMD, r2, sj)
-			d3[j] = vec.Dot(vec.KernelSIMD, r3, sj)
+			d0[j] = dotSeq(r0, sj)
+			d1[j] = dotSeq(r1, sj)
+			d2[j] = dotSeq(r2, sj)
+			d3[j] = dotSeq(r3, sj)
 		}
 	}
-	// Remaining 1-3 R rows: plain per-row kernel.
+	// Remaining 1-3 R rows.
 	for ; i < rHi; i++ {
 		ri := r.Row(i)
 		drow := dst.Row(i)
 		for j := sLo; j < sHi; j++ {
-			drow[j] = vec.Dot(vec.KernelSIMD, ri, s.Row(j))
+			drow[j] = dotSeq(ri, s.Row(j))
 		}
 	}
+}
+
+// dotSeq is the remainder-cell kernel: one sequential ascending-k loop,
+// the same accumulation order as the register tile's per-cell sums and as
+// mulBlockScalar. Remainder cells must not reassociate differently from
+// tile cells (e.g. via vec.Dot's multi-lane accumulators), or a cell's
+// value would depend on its position relative to the 4x2 tiling.
+func dotSeq(a, b []float32) float32 {
+	b = b[:len(a):len(a)]
+	var acc float32
+	for k := range a {
+		acc += a[k] * b[k]
+	}
+	return acc
 }
 
 // MulTranspose allocates and returns r·sᵀ.

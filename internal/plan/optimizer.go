@@ -5,6 +5,7 @@ import (
 
 	"ejoin/internal/cost"
 	"ejoin/internal/embstore"
+	"ejoin/internal/model"
 	"ejoin/internal/quant"
 	"ejoin/internal/relational"
 )
@@ -231,6 +232,170 @@ func estimateRows(n Node) int {
 	default:
 		return 0
 	}
+}
+
+// ShardedChoice is a shard router's one global access-path decision for a
+// fan-out: the physical strategy every probe×build pair is pinned to, plus
+// (when Rule 5 ran) the one scan precision.
+type ShardedChoice struct {
+	Strategy cost.Strategy
+	// Precision is meaningful only when PrecisionChosen is true.
+	Precision quant.Precision
+	// PrecisionChosen reports whether cost-based precision selection ran
+	// (the optimizer has PrecisionAuto plus a slack or memory budget).
+	PrecisionChosen bool
+}
+
+// ChooseSharded evaluates the optimizer's cost-based rules (4 and 5) once
+// over global cardinalities summed from per-shard table references. Shards
+// partition each table's physical rows exactly, so the sums equal the
+// estimates an unsharded optimizer would compute from the whole tables —
+// pinning every pair of a fan-out to this choice makes the sharded
+// execution take the same access path (and, with shape-stable kernels,
+// produce the same bits) as the equivalent unsharded plan. Per-pair
+// cost decisions would instead flip strategies on slice shapes, and two
+// strategies' similarity sums reassociate differently.
+//
+// q is the bound query in its original orientation (feedback corrections
+// are keyed on it); probe and build are the executed-orientation per-shard
+// references; swapped says whether the router's global reorder rule
+// flipped the sides.
+func (o *Optimizer) ChooseSharded(q Query, probe, build []TableRef, swapped bool) ShardedChoice {
+	params := o.Params
+	if params.Validate() != nil {
+		params = cost.DefaultParams()
+	}
+	corr := cost.NeutralCorrections()
+	if o.Feedback != nil {
+		corr = o.Feedback.Corrections(q.Left.Name, q.Right.Name).Clamped()
+	}
+	if swapped {
+		corr.SelLeft, corr.SelRight = corr.SelRight, corr.SelLeft
+	}
+
+	baseP, estP := sumRefRows(probe)
+	baseB, estB := sumRefRows(build)
+
+	var ch ShardedChoice
+	switch {
+	case o.ForceStrategy != nil:
+		ch.Strategy = *o.ForceStrategy
+	case o.DisablePrefetch:
+		ch.Strategy = cost.StrategyNaiveNLJ
+	default:
+		selP, selB := 1.0, 1.0
+		if baseP > 0 {
+			selP = float64(estP) / float64(baseP)
+		}
+		if baseB > 0 {
+			selB = float64(estB) / float64(baseB)
+		}
+		k := 0
+		if q.Join.Kind == TopKJoin {
+			k = q.Join.K
+		}
+		// The unsharded plan either has one index over the whole build side
+		// or none; sharded, the analogue is every populated build shard
+		// carrying one. A partially indexed fan-out (shards lag index builds
+		// independently) prices and executes as unindexed.
+		allIdx := false
+		for _, ref := range build {
+			if ref.Table == nil || ref.Table.NumRows() == 0 {
+				continue
+			}
+			if ref.Index == nil {
+				allIdx = false
+				break
+			}
+			allIdx = true
+		}
+		hitP := o.shardedHitRatio(probe, q.Model)
+		hitB := o.shardedHitRatio(build, q.Model)
+		choice := params.ChooseJoinStrategyCorrected(baseP, baseB, selP, selB, k, allIdx, hitP, hitB, corr)
+		if choice.Strategy == cost.StrategyIndex && !allIdx {
+			choice.Strategy = cost.StrategyTensor
+		}
+		ch.Strategy = choice.Strategy
+	}
+
+	// Rule 5, globally: one precision for every pair's scan. When the
+	// deployment forces a precision (o.Precision) the per-pair Optimize
+	// already applies it uniformly, so only the cost-based path needs the
+	// global row counts.
+	if o.Precision == quant.PrecisionAuto && (o.PrecisionSlack > 0 || o.MemoryBudget > 0) {
+		dim := 0
+		if q.Model != nil {
+			dim = q.Model.Dim()
+		}
+		for _, refs := range [][]TableRef{probe, build} {
+			for _, ref := range refs {
+				if ref.Table != nil && ref.VectorColumn != "" {
+					if vc, err := ref.Table.Vectors(ref.VectorColumn); err == nil && vc.Dim > dim {
+						dim = vc.Dim
+					}
+				}
+			}
+		}
+		pc := params.ChooseJoinPrecisionCorrected(estP, estB, dim, o.MemoryBudget, o.PrecisionSlack, corr)
+		ch.Precision = pc.Precision
+		ch.PrecisionChosen = true
+	}
+	return ch
+}
+
+// sumRefRows sums base and post-predicate row counts across shard refs.
+func sumRefRows(refs []TableRef) (base, est int) {
+	for _, ref := range refs {
+		if ref.Table == nil {
+			continue
+		}
+		base += ref.Table.NumRows()
+		est += EstimateRefRows(ref)
+	}
+	return base, est
+}
+
+// shardedHitRatio is expectedHitRatio over a sharded column: each shard's
+// sampled ratio, weighted by its row count.
+func (o *Optimizer) shardedHitRatio(refs []TableRef, m model.Model) float64 {
+	if o.Store == nil || m == nil {
+		return 0
+	}
+	totalRows, weighted := 0, 0.0
+	for _, ref := range refs {
+		if ref.Table == nil || ref.TextColumn == "" {
+			continue
+		}
+		n := ref.Table.NumRows()
+		if n == 0 {
+			continue
+		}
+		node := &Embed{Input: &Scan{Ref: ref}, Column: ref.TextColumn, Model: m}
+		weighted += o.expectedHitRatio(node) * float64(n)
+		totalRows += n
+	}
+	if totalRows == 0 {
+		return 0
+	}
+	return weighted / float64(totalRows)
+}
+
+// EstimateRefRows estimates a table reference's post-predicate row count
+// the same way the reorder rule does: physical rows, narrowed by exact
+// relational selectivity when predicates are present. The shard router
+// sums these across shards to make its one global swap decision.
+func EstimateRefRows(ref TableRef) int {
+	if ref.Table == nil {
+		return 0
+	}
+	if len(ref.Predicates) == 0 {
+		return ref.Table.NumRows()
+	}
+	sel, err := relational.And(ref.Table, ref.Predicates...)
+	if err != nil {
+		return ref.Table.NumRows()
+	}
+	return len(sel)
 }
 
 // baseRows returns the unfiltered base cardinality of an input subtree.

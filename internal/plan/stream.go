@@ -79,31 +79,66 @@ type loweredPipeline struct {
 	embedNode   *Embed
 }
 
-// ExecuteStreaming runs the plan block-at-a-time. limit > 0 installs a
-// LIMIT short-circuit: the stream stops after limit matches and the
-// result is marked Truncated. Plans the streaming engine cannot run
-// (naive strategy) fall back to the materializing Execute, so callers can
-// use this as their single entry point.
-func (ex *Executor) ExecuteStreaming(ctx context.Context, j *EJoin, limit int) (*ExecResult, error) {
-	if !Streamable(j) {
-		return ex.Execute(ctx, j)
-	}
-	analyze := obs.AnalyzeFromContext(ctx)
+// BuildSide is a resident evaluated build (inner) input. It is reusable
+// across multiple probe streams over plans sharing the same right side:
+// the shard router evaluates one build per build shard and probes it with
+// every probe shard's stream, paying the embedding cost once.
+type BuildSide struct {
+	in *evaluatedInput
+}
+
+// Rows is the build side's surviving selection (global row ids).
+func (b *BuildSide) Rows() relational.Selection { return b.in.rows }
+
+// ModelCalls is the model work the build evaluation performed. Callers
+// sharing one build across streams add it to their aggregate exactly once.
+func (b *BuildSide) ModelCalls() int64 { return b.in.modelCalls }
+
+// EmbedTime is the build evaluation's embedding wall time.
+func (b *BuildSide) EmbedTime() time.Duration { return b.in.embedTime }
+
+// EvalBuild evaluates j's build (right) side resident, through the same
+// path the materializing executor uses, so embedding behavior, model-call
+// accounting, and the MVCC snapshot view are identical by construction.
+func (ex *Executor) EvalBuild(ctx context.Context, j *EJoin) (*BuildSide, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("plan: execute cancelled: %w", err)
 	}
-	// Build side: evaluated resident through the same path the
-	// materializing executor uses, so embedding behavior, model-call
-	// accounting, and the MVCC snapshot view are identical by construction.
-	right, err := ex.evalInput(ctx, j.Right, true, analyze)
+	right, err := ex.evalInput(ctx, j.Right, true, obs.AnalyzeFromContext(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("plan: evaluating build input: %w", err)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("plan: execute cancelled after build: %w", err)
-	}
+	return &BuildSide{in: right}, nil
+}
 
-	lp, err := ex.lowerProbe(j, right)
+// Stream is one open probe-side streaming execution over a resident
+// build. Pull match blocks with Next; assemble the ExecResult with
+// Finish; Close releases the pipeline (idempotent with Finish's caller
+// draining or abandoning the stream early).
+type Stream struct {
+	ex    *Executor
+	j     *EJoin
+	lp    *loweredPipeline
+	build *BuildSide
+	// leftRows is the probe side's full post-predicate selection, known
+	// at Open (predicates are evaluated once, not per block), so feedback
+	// sees the same surviving-row sets as the materializing path even
+	// when a LIMIT cuts the stream short.
+	leftRows relational.Selection
+}
+
+// OpenStream lowers j's probe side over the resident build and opens the
+// pipeline. limit > 0 installs a LIMIT short-circuit: the stream stops
+// after limit matches and Finish marks the result Truncated. The caller
+// must Close the returned stream.
+func (ex *Executor) OpenStream(ctx context.Context, j *EJoin, build *BuildSide, limit int) (*Stream, error) {
+	if !Streamable(j) {
+		return nil, fmt.Errorf("plan: strategy %v is not streamable", j.Strategy)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan: execute cancelled: %w", err)
+	}
+	lp, err := ex.lowerProbe(j, build.in)
 	if err != nil {
 		return nil, err
 	}
@@ -111,30 +146,52 @@ func (ex *Executor) ExecuteStreaming(ctx context.Context, j *EJoin, limit int) (
 		lp.limit = &exec.Limit{Input: lp.top, N: limit}
 		lp.top = lp.limit
 	}
-
 	if err := lp.top.Open(ctx); err != nil {
 		return nil, fmt.Errorf("plan: opening stream: %w", err)
 	}
-	defer lp.top.Close()
-	// The probe side's full post-predicate selection is known at Open
-	// (predicates are evaluated once, not per block), so feedback sees the
-	// same surviving-row sets as the materializing path even when a LIMIT
-	// cuts the stream short.
 	leftRows := lp.scan.Rows()
 	for _, f := range lp.filters {
 		leftRows = f.Filter(leftRows)
 	}
+	return &Stream{ex: ex, j: j, lp: lp, build: build, leftRows: leftRows}, nil
+}
 
-	matches, err := exec.Drain(ctx, lp.top)
-	if err != nil {
-		return nil, err
+// Next returns the next block of matches in the executed plan's
+// orientation (probe=Left), ascending by (Left, Right) within the block
+// and across blocks. Blocks whose probe rows produced no matches are
+// skipped; nil marks end of stream.
+func (s *Stream) Next(ctx context.Context) ([]core.Match, error) {
+	for {
+		b, err := s.lp.top.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if len(b.Matches) == 0 {
+			continue
+		}
+		return b.Matches, nil
 	}
+}
 
+// LeftRows is the probe side's full post-predicate selection.
+func (s *Stream) LeftRows() relational.Selection { return s.leftRows }
+
+// Close releases the pipeline.
+func (s *Stream) Close() error { return s.lp.top.Close() }
+
+// Finish assembles the ExecResult for a drained (or limit/cancel-stopped)
+// stream from the matches the caller accumulated: stats, per-operator
+// accounting, trace spans, the swap flip back to query orientation, and
+// the EXPLAIN ANALYZE tree when the context asks for one. Build-side
+// model work is NOT included — callers add it once per build (see
+// BuildSide.ModelCalls), since one build may feed many streams.
+func (s *Stream) Finish(ctx context.Context, matches []core.Match) *ExecResult {
+	j, lp := s.j, s.lp
 	res := &ExecResult{
 		Matches:   matches,
 		Strategy:  j.Strategy,
-		LeftRows:  leftRows,
-		RightRows: right.rows,
+		LeftRows:  s.leftRows,
+		RightRows: s.build.in.rows,
 		Streamed:  true,
 	}
 	if lp.limit != nil {
@@ -144,15 +201,13 @@ func (ex *Executor) ExecuteStreaming(ctx context.Context, j *EJoin, limit int) (
 		j.Precision = quant.PrecisionF32 // keep plan/stats honest about what ran
 	}
 	res.Stats = lp.coreStats()
-	res.Stats.ModelCalls += right.modelCalls
-	res.Stats.EmbedTime += right.embedTime
 	if lp.embed != nil {
 		bs := lp.embed.BatchStats()
 		res.Stats.ModelCalls += bs.ModelCalls
 		res.Stats.EmbedTime += lp.embed.Stats().Elapsed
 	}
 	res.Ops = lp.opStats()
-	ex.emitStreamSpans(ctx, j, lp, res)
+	s.ex.emitStreamSpans(ctx, j, lp, res)
 
 	if j.Swapped {
 		for i, m := range res.Matches {
@@ -160,9 +215,49 @@ func (ex *Executor) ExecuteStreaming(ctx context.Context, j *EJoin, limit int) (
 		}
 		res.LeftRows, res.RightRows = res.RightRows, res.LeftRows
 	}
-	if analyze {
-		res.Analysis = lp.analysis(j, right, res)
+	if obs.AnalyzeFromContext(ctx) {
+		res.Analysis = lp.analysis(j, s.build.in, res)
 	}
+	return res
+}
+
+// ExecuteStreaming runs the plan block-at-a-time. limit > 0 installs a
+// LIMIT short-circuit: the stream stops after limit matches and the
+// result is marked Truncated. Plans the streaming engine cannot run
+// (naive strategy) fall back to the materializing Execute, so callers can
+// use this as their single entry point.
+func (ex *Executor) ExecuteStreaming(ctx context.Context, j *EJoin, limit int) (*ExecResult, error) {
+	if !Streamable(j) {
+		return ex.Execute(ctx, j)
+	}
+	build, err := ex.EvalBuild(ctx, j)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan: execute cancelled after build: %w", err)
+	}
+	s, err := ex.OpenStream(ctx, j, build, limit)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	var matches []core.Match
+	for {
+		blk, err := s.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if blk == nil {
+			break
+		}
+		matches = append(matches, blk...)
+	}
+
+	res := s.Finish(ctx, matches)
+	res.Stats.ModelCalls += build.ModelCalls()
+	res.Stats.EmbedTime += build.EmbedTime()
 	return res, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"ejoin/internal/obs"
 	"ejoin/internal/plan"
 	"ejoin/internal/relational"
+	"ejoin/internal/vindex"
 )
 
 // mutationState is the engine's live-update arm.
@@ -361,6 +362,41 @@ func (e *Engine) pinVersions(q *plan.Query) {
 			ref.Index = ts.idx.Idx
 		}
 	}
+}
+
+// PinnedTable is one table's pinned MVCC snapshot, as a query would see
+// it: the generation's physical table, its live-row visibility set (nil
+// when all physical rows are live), and — when a maintained index covers
+// the snapshot — that index with the column it is built over.
+type PinnedTable struct {
+	Table       *relational.Table
+	Visible     relational.Selection
+	Index       vindex.Index
+	IndexColumn string
+}
+
+// PinnedTable pins the named table's current MVCC version exactly as
+// pinVersions does for a query, without planning one. The shard router
+// pins each shard's partition once per fan-out and reuses the snapshot
+// across every scatter pair it opens.
+func (e *Engine) PinnedTable(name string) (PinnedTable, bool) {
+	t, ok := e.catalog.Get(name)
+	if !ok {
+		return PinnedTable{}, false
+	}
+	pt := PinnedTable{Table: t}
+	ts := e.mut.get(name)
+	if ts == nil {
+		return pt, true
+	}
+	v := ts.mt.Current()
+	pt.Table = v.Table
+	pt.Visible = v.LiveSel
+	if ts.idx != nil && ts.idx.Idx.Len() >= v.Table.NumRows() {
+		pt.Index = ts.idx.Idx
+		pt.IndexColumn = ts.vecCol
+	}
+	return pt, true
 }
 
 // TableGen returns the named table's current row-level generation (0 and

@@ -113,6 +113,11 @@ func IsBadRequest(err error) bool {
 	return errors.As(err, &b)
 }
 
+// MarkBadRequest wraps err as request-caused so IsBadRequest reports it.
+// The shard router uses this to classify its own parse/bind failures the
+// same way the engine does.
+func MarkBadRequest(err error) error { return badRequest(err) }
+
 // Query plans, admits, and executes one request. It is safe for any
 // number of concurrent callers.
 func (e *Engine) Query(ctx context.Context, req QueryRequest) (*QueryResult, error) {

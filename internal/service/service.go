@@ -153,6 +153,13 @@ type Config struct {
 	// costs at engine build (cost.Calibrate — a few microseconds plus 64
 	// model calls) and plans with the result instead of CostParams.
 	CalibrateCost bool
+	// ForceStrategy, when non-nil, bypasses cost-based strategy selection
+	// for every query (test/differential harnesses pin exact strategies).
+	ForceStrategy *cost.Strategy
+	// DisableReorder switches off the optimizer's smaller-inner swap rule.
+	// The shard router sets this: it makes one global orientation decision
+	// across shards and per-shard re-swaps would break stream merging.
+	DisableReorder bool
 }
 
 // TableInfo describes one catalog entry.
@@ -265,7 +272,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Store:     store,
 		BlockRows: cfg.ExecBlockRows,
 	}
-	opt := &plan.Optimizer{Params: cfg.CostParams, Store: store}
+	opt := &plan.Optimizer{
+		Params:         cfg.CostParams,
+		Store:          store,
+		ForceStrategy:  cfg.ForceStrategy,
+		DisableReorder: cfg.DisableReorder,
+	}
 	if cfg.PrecisionSlack > 0 {
 		opt.PrecisionSlack = cfg.PrecisionSlack
 		// Precision planning budgets against the same byte budget that

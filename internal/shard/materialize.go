@@ -1,0 +1,87 @@
+package shard
+
+// Cross-shard result materialization: the merged match list carries
+// global row ids whose physical rows are scattered across shards. The
+// gather concatenates each side's pinned shard tables (into fresh
+// storage — live MVCC versions must not be appended to), remaps every
+// global id to its concatenated position through the routing snapshot,
+// and reuses the relational join materializer so the output schema
+// (l_/r_ prefixed columns plus "similarity") is byte-compatible with an
+// unsharded engine's.
+
+import (
+	"fmt"
+
+	"ejoin/internal/core"
+	"ejoin/internal/relational"
+	"ejoin/internal/service"
+)
+
+// materializeShards builds the joined output table for matches in the
+// query's original orientation.
+func materializeShards(left, right *sideState, matches []core.Match) (*relational.Table, error) {
+	catL, offL, err := concatPins(left.pins)
+	if err != nil {
+		return nil, err
+	}
+	catR, offR, err := concatPins(right.pins)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]relational.Pair, len(matches))
+	sims := make(relational.Float64Column, len(matches))
+	for i, m := range matches {
+		li, err := concatIndex(left, offL, m.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := concatIndex(right, offR, m.Right)
+		if err != nil {
+			return nil, err
+		}
+		pairs[i] = relational.Pair{Left: li, Right: ri}
+		sims[i] = float64(m.Sim)
+	}
+	joined, err := relational.MaterializeJoin(catL, catR, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return joined.WithColumn("similarity", sims)
+}
+
+// concatPins stacks the shards' pinned physical tables into one table,
+// returning each shard's starting offset. The base is a full-row Select
+// (a copy): AppendRows shares backing arrays copy-on-write, and appending
+// onto a live MVCC version's arrays would race the mutation chain.
+func concatPins(pins []service.PinnedTable) (*relational.Table, []int, error) {
+	offsets := make([]int, len(pins))
+	sel := make(relational.Selection, pins[0].Table.NumRows())
+	for i := range sel {
+		sel[i] = i
+	}
+	cat, err := pins[0].Table.Select(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	for s := 1; s < len(pins); s++ {
+		offsets[s] = cat.NumRows()
+		cat, err = relational.AppendRows(cat, pins[s].Table)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return cat, offsets, nil
+}
+
+// concatIndex maps a global row id to its position in the concatenated
+// table through the routing snapshot.
+func concatIndex(ss *sideState, offsets []int, gid int) (int, error) {
+	if gid < 0 || gid >= len(ss.locs) {
+		return 0, fmt.Errorf("shard: match references unmapped global row %d", gid)
+	}
+	l := ss.locs[gid]
+	if l.shard < 0 {
+		return 0, fmt.Errorf("shard: match references trimmed global row %d", gid)
+	}
+	return offsets[l.shard] + int(l.local), nil
+}

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"ejoin/internal/core"
+)
+
+// feedCursor builds a pairCursor fed by a goroutine that hands over the
+// given blocks one at a time (unbuffered, like the real producers) and
+// counts completed handoffs. Closing done releases a blocked producer.
+func feedCursor(probe, build int, blocks [][]core.Match, done <-chan struct{}, sent *atomic.Int64) *pairCursor {
+	ch := make(chan pairMsg)
+	c := &pairCursor{probe: probe, build: build, ch: ch, waitNS: new(atomic.Int64)}
+	go func() {
+		defer close(ch)
+		for _, b := range blocks {
+			select {
+			case ch <- pairMsg{blk: b}:
+				if sent != nil {
+					sent.Add(1)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+func errCursor(err error) *pairCursor {
+	ch := make(chan pairMsg)
+	c := &pairCursor{ch: ch, waitNS: new(atomic.Int64)}
+	go func() {
+		ch <- pairMsg{err: err}
+		close(ch)
+	}()
+	return c
+}
+
+func m(l, r int, s float32) core.Match { return core.Match{Left: l, Right: r, Sim: s} }
+
+func sortedMerge(streams ...[]core.Match) []core.Match {
+	var all []core.Match
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return matchLess(all[i], all[j]) })
+	return all
+}
+
+func TestMergeThresholdOrdersAndExhausts(t *testing.T) {
+	a := []core.Match{m(0, 3, 1), m(2, 1, 1), m(2, 9, 1), m(7, 0, 1)}
+	b := []core.Match{m(1, 4, 1), m(2, 5, 1), m(9, 9, 1)}
+	c := []core.Match{m(0, 8, 1), m(8, 2, 1)}
+	done := make(chan struct{})
+	defer close(done)
+	cursors := []*pairCursor{
+		feedCursor(0, 0, [][]core.Match{a[:2], a[2:]}, done, nil),
+		feedCursor(0, 1, [][]core.Match{b}, done, nil),
+		feedCursor(0, 2, [][]core.Match{c[:1], c[1:]}, done, nil),
+	}
+	got, truncated, err := mergeThreshold(cursors, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("unbounded merge reported truncation")
+	}
+	want := sortedMerge(a, b, c)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeThresholdLimit(t *testing.T) {
+	a := []core.Match{m(0, 0, 1), m(1, 0, 1), m(2, 0, 1)}
+	b := []core.Match{m(0, 5, 1), m(3, 0, 1)}
+	done := make(chan struct{})
+	defer close(done)
+	cursors := []*pairCursor{
+		feedCursor(0, 0, [][]core.Match{a}, done, nil),
+		feedCursor(0, 1, [][]core.Match{b}, done, nil),
+	}
+	got, truncated, err := mergeThreshold(cursors, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("limited merge did not report truncation")
+	}
+	want := sortedMerge(a, b)[:3]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeThresholdBounded is the laziness contract: the merger holds at
+// most one block per cursor, so a LIMIT cut must leave nearly all of a
+// deep stream's blocks unconsumed (at most the consumed block plus the
+// one handoff a producer may complete before observing the cut).
+func TestMergeThresholdBounded(t *testing.T) {
+	const blocksPerCursor = 50
+	done := make(chan struct{})
+	var sent atomic.Int64
+	mkBlocks := func(off int) [][]core.Match {
+		var bs [][]core.Match
+		for i := 0; i < blocksPerCursor; i++ {
+			bs = append(bs, []core.Match{m(i, off, 1)})
+		}
+		return bs
+	}
+	cursors := []*pairCursor{
+		feedCursor(0, 0, mkBlocks(0), done, &sent),
+		feedCursor(0, 1, mkBlocks(1), done, &sent),
+		feedCursor(0, 2, mkBlocks(2), done, &sent),
+	}
+	got, truncated, err := mergeThreshold(cursors, 1)
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(got) != 1 {
+		t.Fatalf("got %d matches (truncated=%v), want 1 truncated", len(got), truncated)
+	}
+	// Each cursor completed at most its peeked head block plus one more
+	// handoff racing the cut: 2 per cursor, not blocksPerCursor.
+	if n := sent.Load(); n > 6 {
+		t.Errorf("merge consumed %d blocks for a LIMIT 1 cut; not bounded", n)
+	}
+}
+
+func TestMergeThresholdError(t *testing.T) {
+	want := errors.New("shard exploded")
+	done := make(chan struct{})
+	defer close(done)
+	cursors := []*pairCursor{
+		feedCursor(0, 0, [][]core.Match{{m(0, 0, 1)}}, done, nil),
+		errCursor(want),
+	}
+	if _, _, err := mergeThreshold(cursors, 0); !errors.Is(err, want) {
+		t.Fatalf("got err %v, want %v", err, want)
+	}
+}
+
+func TestSelectTopKTieOrder(t *testing.T) {
+	cands := []core.Match{m(4, 11, 0.8), m(4, 5, 0.9), m(4, 2, 0.9), m(4, 7, 0.95)}
+	got := selectTopK(cands, 3)
+	// Kept: 0.95/R7, then the 0.9 tie broken to the lower build id first
+	// (R2 then R5); emitted ascending by build id.
+	want := []core.Match{m(4, 2, 0.9), m(4, 5, 0.9), m(4, 7, 0.95)}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kept %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeTopK re-selects each probe row's global top-k from per-pair
+// local top-ks and interleaves probe shards by ascending global row id.
+func TestMergeTopK(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	// Probe shard 0 owns rows {0, 2}; shard 1 owns rows {1, 3}. Two build
+	// shards; every pair streams its local top-2 per row.
+	perProbe := [][]*pairCursor{
+		{
+			feedCursor(0, 0, [][]core.Match{{m(0, 0, 0.5), m(0, 4, 0.4)}, {m(2, 2, 0.9)}}, done, nil),
+			feedCursor(0, 1, [][]core.Match{{m(0, 1, 0.8), m(0, 9, 0.3)}, {m(2, 3, 0.7), m(2, 5, 0.6)}}, done, nil),
+		},
+		{
+			feedCursor(1, 0, [][]core.Match{{m(1, 0, 0.2)}, {m(3, 6, 0.9), m(3, 8, 0.85)}}, done, nil),
+			feedCursor(1, 1, [][]core.Match{{m(1, 7, 0.95), m(1, 3, 0.1)}}, done, nil),
+		},
+	}
+	got, truncated, err := mergeTopK(perProbe, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("unbounded top-k merge reported truncation")
+	}
+	want := []core.Match{
+		// row 0: union {0.5/R0, 0.4/R4, 0.8/R1, 0.3/R9} → top-2 {R1, R0}, ascending by build id
+		m(0, 0, 0.5), m(0, 1, 0.8),
+		// row 1: union {0.2/R0, 0.95/R7, 0.1/R3} → {R7, R0}
+		m(1, 0, 0.2), m(1, 7, 0.95),
+		// row 2: union {0.9/R2, 0.7/R3, 0.6/R5} → {R2, R3}
+		m(2, 2, 0.9), m(2, 3, 0.7),
+		// row 3: union {0.9/R6, 0.85/R8} → both
+		m(3, 6, 0.9), m(3, 8, 0.85),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeTopKLimit(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	perProbe := [][]*pairCursor{
+		{feedCursor(0, 0, [][]core.Match{{m(0, 0, 0.9), m(0, 1, 0.8)}, {m(1, 0, 0.7)}}, done, nil)},
+	}
+	got, truncated, err := mergeTopK(perProbe, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(got) != 3 {
+		t.Fatalf("got %d matches (truncated=%v), want 3 truncated", len(got), truncated)
+	}
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"ejoin/internal/embstore"
+	"ejoin/internal/model"
+	"ejoin/internal/relational"
+	"ejoin/internal/workload"
+)
+
+func stringTable(t *testing.T, words []string) *relational.Table {
+	t.Helper()
+	var ws relational.StringColumn
+	var ns relational.Int64Column
+	for i, w := range words {
+		ws = append(ws, w)
+		ns = append(ns, int64(i))
+	}
+	tbl, err := relational.NewTable(
+		relational.Schema{{Name: "word", Type: relational.String}, {Name: "n", Type: relational.Int64}},
+		[]relational.Column{ws, ns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func intTable(t *testing.T, n int) *relational.Table {
+	t.Helper()
+	var a, b relational.Int64Column
+	for i := 0; i < n; i++ {
+		a = append(a, int64(i))
+		b = append(b, int64(i*i))
+	}
+	tbl, err := relational.NewTable(
+		relational.Schema{{Name: "a", Type: relational.Int64}, {Name: "b", Type: relational.Int64}},
+		[]relational.Column{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestHashPartitionerDeterministicSpread(t *testing.T) {
+	tbl := stringTable(t, workload.Strings(3, 128, nil))
+	h := &hashPartitioner{shards: 4}
+	ctx := context.Background()
+	tm := &tableMeta{}
+	first, err := h.Owners(ctx, tm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := h.Owners(ctx, tm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i, s := range first {
+		if s < 0 || s >= 4 {
+			t.Fatalf("row %d assigned to shard %d, want [0,4)", i, s)
+		}
+		if s != again[i] {
+			t.Fatalf("row %d owner changed across calls: %d then %d", i, s, again[i])
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Errorf("shard %d received no rows from a 128-row hash partition", s)
+		}
+	}
+	// Content-addressed: the same key hashes identically in a different
+	// batch (upsert routing must agree with ingest routing).
+	sub := stringTable(t, []string{tbl.ColumnAt(0).(relational.StringColumn)[5]})
+	subOwner, err := h.Owners(ctx, tm, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subOwner[0] != first[5] {
+		t.Errorf("key routed to shard %d at ingest but %d in a later batch", first[5], subOwner[0])
+	}
+}
+
+func newCentroid(t *testing.T, shards int) *centroidPartitioner {
+	t.Helper()
+	m, err := model.NewHashEmbedder(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &centroidPartitioner{
+		shards: shards,
+		model:  m,
+		store:  embstore.New(embstore.Config{MaxBytes: 64 << 20}),
+		hash:   &hashPartitioner{shards: shards},
+	}
+}
+
+func TestCentroidDeterministicAcrossInstances(t *testing.T) {
+	tbl := stringTable(t, workload.Strings(5, 200, nil))
+	ctx := context.Background()
+
+	fit := func() (*tableMeta, []int) {
+		c := newCentroid(t, 4)
+		tm := &tableMeta{}
+		if err := c.Fit(ctx, tm, tbl); err != nil {
+			t.Fatal(err)
+		}
+		if tm.hashFallback {
+			t.Fatal("200-row fit fell back to hash")
+		}
+		owners, err := c.Owners(ctx, tm, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm, owners
+	}
+	tm1, own1 := fit()
+	tm2, own2 := fit()
+	if len(tm1.centroids) != 4 || len(tm2.centroids) != 4 {
+		t.Fatalf("centroid counts %d/%d, want 4", len(tm1.centroids), len(tm2.centroids))
+	}
+	for c := range tm1.centroids {
+		for d := range tm1.centroids[c] {
+			if tm1.centroids[c][d] != tm2.centroids[c][d] {
+				t.Fatalf("centroid %d dim %d differs across instances", c, d)
+			}
+		}
+	}
+	for i := range own1 {
+		if own1[i] != own2[i] {
+			t.Fatalf("row %d owner differs across instances: %d vs %d", i, own1[i], own2[i])
+		}
+	}
+}
+
+func TestCentroidFallbackSmallBatch(t *testing.T) {
+	c := newCentroid(t, 4)
+	tm := &tableMeta{}
+	tbl := stringTable(t, []string{"alpha", "beta"}) // rows < shards
+	ctx := context.Background()
+	if err := c.Fit(ctx, tm, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.hashFallback {
+		t.Fatal("fit on a 2-row table did not set the hash fallback")
+	}
+	got, err := c.Owners(ctx, tm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.hash.Owners(ctx, tm, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback owner %d: got %d, want hash's %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCentroidFallbackNoEmbeddableColumn(t *testing.T) {
+	c := newCentroid(t, 2)
+	tm := &tableMeta{}
+	tbl := intTable(t, 32)
+	ctx := context.Background()
+	if err := c.Fit(ctx, tm, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.hashFallback {
+		t.Fatal("fit on an all-integer table did not set the hash fallback")
+	}
+	if _, err := c.Owners(ctx, tm, tbl); err != nil {
+		t.Fatalf("fallback owners: %v", err)
+	}
+}
+
+// TestCentroidAffinity sanity-checks the point of the strategy: near-
+// duplicate strings should co-locate more often than unrelated ones land
+// on any particular shard.
+func TestCentroidAffinity(t *testing.T) {
+	words := workload.Strings(5, 200, nil)
+	c := newCentroid(t, 4)
+	tm := &tableMeta{}
+	ctx := context.Background()
+	if err := c.Fit(ctx, tm, stringTable(t, words)); err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Owners(ctx, tm, stringTable(t, words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A row identical to a fitted row must land on the same shard.
+	dup := stringTable(t, []string{words[17] + "", words[42]})
+	owners, err := c.Owners(ctx, tm, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owners[0] != base[17] || owners[1] != base[42] {
+		t.Errorf("identical rows routed to %v, want [%d %d]", owners, base[17], base[42])
+	}
+}
